@@ -1,0 +1,243 @@
+package pathsched
+
+// The benchmark harness regenerates every table and figure of the
+// paper as Go benchmarks: each sub-benchmark runs the corresponding
+// pipeline configuration and reports the figure's quantity via
+// b.ReportMetric, so `go test -bench=.` reproduces the evaluation row
+// by row (cmd/experiments renders the same data as formatted text).
+//
+//	BenchmarkTable1     — baseline dynamic statistics per benchmark
+//	BenchmarkFigure4    — P4 vs M4, ideal I-cache (metric P4/M4)
+//	BenchmarkFigure5    — P4 and P4e vs M4 with the 32KB I-cache
+//	BenchmarkFigure6    — P4e and M16 vs M4 with the I-cache
+//	BenchmarkFigure7    — blocks executed per superblock vs size
+//	BenchmarkMissRates  — I-cache miss rates (the §4 gcc/go discussion)
+//
+// Component benchmarks at the bottom measure the infrastructure
+// itself (profiling overhead, formation, compaction, interpretation).
+
+import (
+	"testing"
+
+	"pathsched/internal/bench"
+	"pathsched/internal/core"
+	"pathsched/internal/interp"
+	"pathsched/internal/machine"
+	"pathsched/internal/pipeline"
+	"pathsched/internal/profile"
+	"pathsched/internal/sched"
+)
+
+func runOnce(b *testing.B, name string, schemes []pipeline.Scheme, cache bool) *pipeline.Result {
+	b.Helper()
+	opts := pipeline.Options{}
+	if cache {
+		c := machine.DefaultICache()
+		opts.Cache = &c
+	}
+	runner := pipeline.NewRunner(opts)
+	res, err := runner.RunBenchmark(bench.ByName(name), schemes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for _, name := range bench.Names() {
+		b.Run(name, func(b *testing.B) {
+			var res *pipeline.Result
+			for i := 0; i < b.N; i++ {
+				res = runOnce(b, name, []pipeline.Scheme{pipeline.SchemeBB}, false)
+			}
+			m := res.ByScheme[pipeline.SchemeBB]
+			b.ReportMetric(float64(m.DynBranches)/1e3, "Kbranches")
+			b.ReportMetric(float64(m.IdealCycles)/1e3, "Kcycles")
+			b.ReportMetric(float64(m.DynInstrs)/1e3, "Kinstrs")
+			b.ReportMetric(float64(res.OrigCodeBytes)/1024, "KBcode")
+		})
+	}
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	for _, name := range bench.Names() {
+		b.Run(name, func(b *testing.B) {
+			var res *pipeline.Result
+			for i := 0; i < b.N; i++ {
+				res = runOnce(b, name, []pipeline.Scheme{pipeline.SchemeM4, pipeline.SchemeP4}, false)
+			}
+			m4 := res.ByScheme[pipeline.SchemeM4]
+			p4 := res.ByScheme[pipeline.SchemeP4]
+			b.ReportMetric(float64(p4.IdealCycles)/float64(m4.IdealCycles), "P4/M4")
+		})
+	}
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	schemes := []pipeline.Scheme{pipeline.SchemeM4, pipeline.SchemeP4, pipeline.SchemeP4e}
+	for _, name := range bench.Names() {
+		b.Run(name, func(b *testing.B) {
+			var res *pipeline.Result
+			for i := 0; i < b.N; i++ {
+				res = runOnce(b, name, schemes, true)
+			}
+			m4 := res.ByScheme[pipeline.SchemeM4]
+			b.ReportMetric(float64(res.ByScheme[pipeline.SchemeP4].Cycles)/float64(m4.Cycles), "P4/M4")
+			b.ReportMetric(float64(res.ByScheme[pipeline.SchemeP4e].Cycles)/float64(m4.Cycles), "P4e/M4")
+		})
+	}
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	schemes := []pipeline.Scheme{pipeline.SchemeM4, pipeline.SchemeM16, pipeline.SchemeP4e}
+	for _, name := range bench.Names() {
+		b.Run(name, func(b *testing.B) {
+			var res *pipeline.Result
+			for i := 0; i < b.N; i++ {
+				res = runOnce(b, name, schemes, true)
+			}
+			m4 := res.ByScheme[pipeline.SchemeM4]
+			b.ReportMetric(float64(res.ByScheme[pipeline.SchemeP4e].Cycles)/float64(m4.Cycles), "P4e/M4")
+			b.ReportMetric(float64(res.ByScheme[pipeline.SchemeM16].Cycles)/float64(m4.Cycles), "M16/M4")
+		})
+	}
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	schemes := []pipeline.Scheme{pipeline.SchemeM4, pipeline.SchemeM16,
+		pipeline.SchemeP4e, pipeline.SchemeP4}
+	for _, name := range bench.Names() {
+		b.Run(name, func(b *testing.B) {
+			var res *pipeline.Result
+			for i := 0; i < b.N; i++ {
+				res = runOnce(b, name, schemes, false)
+			}
+			for _, s := range schemes {
+				m := res.ByScheme[s]
+				b.ReportMetric(m.AvgBlocksExecuted, string(s)+"-exec")
+				b.ReportMetric(m.AvgSBSize, string(s)+"-size")
+			}
+		})
+	}
+}
+
+func BenchmarkMissRates(b *testing.B) {
+	schemes := []pipeline.Scheme{pipeline.SchemeM4, pipeline.SchemeM16,
+		pipeline.SchemeP4e, pipeline.SchemeP4}
+	for _, name := range []string{"gcc", "go"} {
+		b.Run(name, func(b *testing.B) {
+			var res *pipeline.Result
+			for i := 0; i < b.N; i++ {
+				res = runOnce(b, name, schemes, true)
+			}
+			for _, s := range schemes {
+				b.ReportMetric(res.ByScheme[s].MissRate*100, string(s)+"-miss%")
+			}
+		})
+	}
+}
+
+// --- Component benchmarks -------------------------------------------
+
+// BenchmarkProfiling compares edge-profiled, path-profiled, and
+// unobserved interpretation of one benchmark, quantifying the paper's
+// claim that lazy general-path profiling has edge-profiling-like
+// overhead (§3.1).
+func BenchmarkProfiling(b *testing.B) {
+	prog := bench.ByName("wc").Build(bench.ByName("wc").Train)
+	b.Run("bare", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := interp.Run(prog, interp.Config{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("edge", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ep := profile.NewEdgeProfiler(prog)
+			if _, err := interp.Run(prog, interp.Config{Observer: ep}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("path", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pp := profile.NewPathProfiler(prog, profile.PathConfig{})
+			if _, err := interp.Run(prog, interp.Config{Observer: pp}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFormation measures the form pass alone under both methods.
+func BenchmarkFormation(b *testing.B) {
+	bm := bench.ByName("gcc")
+	prog := bm.Build(bm.Train)
+	ep := profile.NewEdgeProfiler(prog)
+	pp := profile.NewPathProfiler(prog, profile.PathConfig{})
+	if _, err := interp.Run(prog, interp.Config{Observer: profile.Multi{ep, pp}}); err != nil {
+		b.Fatal(err)
+	}
+	eprof, pprof := ep.Profile(), pp.Profile()
+	for _, method := range []core.Method{core.EdgeBased, core.PathBased} {
+		b.Run(method.String(), func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.Method = method
+			cfg.Edge, cfg.Path = eprof, pprof
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Form(prog, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCompaction measures the compact pass (merging, renaming,
+// DCE, scheduling, allocation) on path-formed superblocks.
+func BenchmarkCompaction(b *testing.B) {
+	bm := bench.ByName("gcc")
+	prog := bm.Build(bm.Train)
+	ep := profile.NewEdgeProfiler(prog)
+	pp := profile.NewPathProfiler(prog, profile.PathConfig{})
+	if _, err := interp.Run(prog, interp.Config{Observer: profile.Multi{ep, pp}}); err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Method = core.PathBased
+	cfg.Edge, cfg.Path = ep.Profile(), pp.Profile()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		formed, err := core.Form(prog, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sched.Compact(formed, sched.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInterpreter measures raw scheduled-code execution speed.
+func BenchmarkInterpreter(b *testing.B) {
+	prog := demoProgram()
+	profs, err := ProfileProgram(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bin, err := Compile(prog, profs, SchemeP4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var instrs int64
+	for i := 0; i < b.N; i++ {
+		res, err := Execute(bin)
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs = res.DynInstrs
+	}
+	b.ReportMetric(float64(instrs)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}

@@ -1,0 +1,158 @@
+// Command experiments regenerates every table and figure of Young &
+// Smith, "Better Global Scheduling Using Path Profiles" (MICRO-31,
+// 1998), on the reproduction's synthetic benchmark suite.
+//
+// Usage:
+//
+//	experiments                  # everything: Table 1, Figures 4-7, miss rates
+//	experiments -only fig4,fig7  # a subset
+//	experiments -bench gcc,go    # restrict the benchmark set
+//	experiments -realistic       # multi-cycle load/mul latencies (§3.2 note)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+	"time"
+
+	"pathsched/internal/core"
+	"pathsched/internal/machine"
+	"pathsched/internal/pipeline"
+	"pathsched/internal/sched"
+	"pathsched/internal/stats"
+)
+
+func main() {
+	var (
+		only      = flag.String("only", "all", "comma-separated subset: table1,fig4,fig5,fig6,fig7,miss,summary")
+		benches   = flag.String("bench", "", "comma-separated benchmark names (default: whole suite)")
+		realistic = flag.Bool("realistic", false, "use multi-cycle load/mul latencies")
+		depth     = flag.Int("depth", 15, "general path profile depth in branches")
+		ways      = flag.Int("ways", 1, "I-cache associativity (paper: 1, direct-mapped)")
+		ablate    = flag.Bool("ablate", false, "run design-choice ablations instead of the figures")
+		jsonOut   = flag.Bool("json", false, "emit raw measurements as JSON instead of text reports")
+	)
+	flag.Parse()
+
+	if *ablate {
+		runAblations(*benches)
+		return
+	}
+
+	mc := machine.Default()
+	mc.Realistic = *realistic
+	cache := machine.DefaultICache()
+	cache.Ways = *ways
+	runner := pipeline.NewRunner(pipeline.Options{
+		Machine:   mc,
+		Cache:     &cache,
+		PathDepth: *depth,
+	})
+
+	var names []string
+	if *benches != "" {
+		names = strings.Split(*benches, ",")
+	}
+	start := time.Now()
+	results, err := runner.RunSuite(names, pipeline.AllSchemes())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	if *jsonOut {
+		out, err := stats.JSON(results)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		return
+	}
+	fmt.Printf("# pathsched experiments — %d benchmarks, schemes %v, %.1fs\n\n",
+		len(results), pipeline.AllSchemes(), time.Since(start).Seconds())
+
+	want := map[string]bool{}
+	for _, w := range strings.Split(*only, ",") {
+		want[strings.TrimSpace(w)] = true
+	}
+	show := func(key string) bool { return want["all"] || want[key] }
+
+	if show("table1") {
+		fmt.Println(stats.Table1(results))
+	}
+	if show("fig4") {
+		fmt.Println(stats.Figure4(results))
+	}
+	if show("fig5") {
+		fmt.Println(stats.Figure5(results))
+	}
+	if show("fig6") {
+		fmt.Println(stats.Figure6(results))
+	}
+	if show("fig7") {
+		fmt.Println(stats.Figure7(results))
+	}
+	if show("miss") {
+		fmt.Println(stats.MissRates(results))
+	}
+	if show("summary") {
+		fmt.Println(stats.Summary(results))
+	}
+}
+
+// runAblations measures how the design choices DESIGN.md calls out
+// contribute to the path-based result: profile depth, the three §2.3
+// compaction optimizations, and footnote 2's upward trace growth.
+// Reported per configuration: geometric mean of P4/M4 ideal cycles
+// over the ablation benchmark set.
+func runAblations(benches string) {
+	names := []string{"alt", "ph", "corr", "wc", "eqn", "m88k"}
+	if benches != "" {
+		names = strings.Split(benches, ",")
+	}
+	type config struct {
+		label string
+		opts  pipeline.Options
+	}
+	var configs []config
+	for _, d := range []int{1, 2, 4, 8, 15} {
+		configs = append(configs, config{
+			label: fmt.Sprintf("depth=%-2d", d),
+			opts:  pipeline.Options{PathDepth: d},
+		})
+	}
+	configs = append(configs,
+		config{"no-renaming", pipeline.Options{Sched: sched.Options{DisableRenaming: true}}},
+		config{"no-dce", pipeline.Options{Sched: sched.Options{DisableDCE: true}}},
+		config{"no-vn", pipeline.Options{Sched: sched.Options{DisableVN: true}}},
+		config{"upward-growth", pipeline.Options{Form: func(c *core.Config) { c.GrowUpward = true }}},
+		config{"cross-act", pipeline.Options{PathCrossActivation: true}},
+		config{"baseline", pipeline.Options{}},
+	)
+	fmt.Printf("# ablations over %v (geomean of P4/M4 ideal cycles; lower favors P4)\n\n", names)
+	fmt.Printf("%-14s %10s %14s\n", "config", "P4/M4", "P4 cycles (K)")
+	for _, c := range configs {
+		runner := pipeline.NewRunner(c.opts)
+		results, err := runner.RunSuite(names, []pipeline.Scheme{pipeline.SchemeM4, pipeline.SchemeP4})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		geo, n := 1.0, 0
+		var cycles int64
+		for _, r := range results {
+			m4 := r.ByScheme[pipeline.SchemeM4]
+			p4 := r.ByScheme[pipeline.SchemeP4]
+			geo *= float64(p4.IdealCycles) / float64(m4.IdealCycles)
+			cycles += p4.IdealCycles
+			n++
+		}
+		if n > 0 {
+			geo = math.Pow(geo, 1/float64(n))
+		}
+		fmt.Printf("%-14s %10.3f %14.1f\n", c.label, geo, float64(cycles)/1000)
+	}
+}

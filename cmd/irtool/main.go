@@ -1,0 +1,351 @@
+// Command irtool works with the textual IR format: dump a benchmark
+// (optionally after compilation), verify a file, run a file, or
+// profile a file and print path statistics.
+//
+// Usage:
+//
+//	irtool dump -bench wc > wc.ir            # architectural program
+//	irtool dump -bench wc -scheme P4         # compiled (annotations dropped)
+//	irtool verify wc.ir
+//	irtool run wc.ir
+//	irtool paths -top 10 wc.ir               # hottest general paths
+//	irtool profile -edge e.prof -path p.prof wc.ir   # save profiles
+//	irtool compile -scheme P4 -edge e.prof -path p.prof wc.ir > wc.p4.ir
+//
+// profile + compile decouple training from compilation, the standard
+// profile-guided build workflow.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"pathsched/internal/bench"
+	"pathsched/internal/interp"
+	"pathsched/internal/ir"
+	"pathsched/internal/profile"
+
+	root "pathsched"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "dump":
+		dump(args)
+	case "verify":
+		verify(args)
+	case "run":
+		run(args)
+	case "paths":
+		paths(args)
+	case "profile":
+		profileCmd(args)
+	case "compile":
+		compileCmd(args)
+	case "dot":
+		dotCmd(args)
+	case "trace":
+		traceCmd(args)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: irtool {dump|verify|run|paths|profile|compile|dot|trace} [flags] [file.ir]")
+	os.Exit(2)
+}
+
+// dotCmd renders a procedure's CFG as Graphviz DOT, with dynamic edge
+// weights from a run.
+func dotCmd(args []string) {
+	fs := flag.NewFlagSet("dot", flag.ExitOnError)
+	procName := fs.String("proc", "main", "procedure to render")
+	weights := fs.Bool("weights", true, "run the program and label edges with counts")
+	_ = fs.Parse(args)
+	prog := loadFile(fs.Args())
+	p := prog.ProcByName(*procName)
+	if p == nil {
+		fatal(fmt.Errorf("no procedure %q", *procName))
+	}
+	var weight func(from, to ir.BlockID) int64
+	if *weights {
+		ep := profile.NewEdgeProfiler(prog)
+		if _, err := interp.Run(prog, interp.Config{Observer: ep}); err != nil {
+			fatal(err)
+		}
+		e := ep.Profile()
+		weight = func(from, to ir.BlockID) int64 { return e.EdgeFreq(p.ID, from, to) }
+	}
+	fmt.Print(ir.WriteDot(p, weight))
+}
+
+// traceCmd prints the first N block-level control-flow events of a run.
+func traceCmd(args []string) {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	n := fs.Int("n", 50, "events to print")
+	_ = fs.Parse(args)
+	prog := loadFile(fs.Args())
+	tr := &tracer{limit: *n, prog: prog}
+	if _, err := interp.Run(prog, interp.Config{Observer: tr}); err != nil {
+		fatal(err)
+	}
+	if tr.printed >= tr.limit {
+		fmt.Printf("... (truncated at %d events)\n", tr.limit)
+	}
+}
+
+type tracer struct {
+	prog    *ir.Program
+	limit   int
+	printed int
+	depth   int
+}
+
+func (t *tracer) EnterProc(p ir.ProcID, entry ir.BlockID) {
+	if t.printed < t.limit {
+		fmt.Printf("%*scall %s\n", 2*t.depth, "", t.prog.Proc(p).Name)
+		t.printed++
+	}
+	t.depth++
+}
+
+func (t *tracer) ExitProc(p ir.ProcID) {
+	t.depth--
+	if t.printed < t.limit {
+		fmt.Printf("%*sret  %s\n", 2*t.depth, "", t.prog.Proc(p).Name)
+		t.printed++
+	}
+}
+
+func (t *tracer) Edge(p ir.ProcID, from, to ir.BlockID) {}
+
+func (t *tracer) Block(p ir.ProcID, b ir.BlockID) {
+	if t.printed < t.limit {
+		fmt.Printf("%*s  b%d\n", 2*t.depth, "", b)
+		t.printed++
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "irtool:", err)
+	os.Exit(1)
+}
+
+func loadFile(args []string) *ir.Program {
+	if len(args) != 1 {
+		usage()
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := ir.ParseText(string(data))
+	if err != nil {
+		fatal(err)
+	}
+	return prog
+}
+
+func dump(args []string) {
+	fs := flag.NewFlagSet("dump", flag.ExitOnError)
+	benchName := fs.String("bench", "alt", "benchmark to dump")
+	scheme := fs.String("scheme", "", "compile first: BB, M4, M16, P4e, P4")
+	train := fs.Bool("train", false, "use the training input instead of testing")
+	_ = fs.Parse(args)
+
+	b := bench.ByName(*benchName)
+	if b == nil {
+		fatal(fmt.Errorf("unknown benchmark %q", *benchName))
+	}
+	in := b.Test
+	if *train {
+		in = b.Train
+	}
+	prog := b.Build(in)
+	if *scheme != "" {
+		profs, err := root.ProfileProgram(b.Build(b.Train))
+		if err != nil {
+			fatal(err)
+		}
+		bin, err := root.Compile(prog, profs, root.Scheme(*scheme))
+		if err != nil {
+			fatal(err)
+		}
+		prog = bin
+	}
+	fmt.Print(ir.WriteText(prog))
+}
+
+func verify(args []string) {
+	prog := loadFile(args)
+	fmt.Printf("ok: %s — %d procs, %d blocks, %d instructions, %d data words\n",
+		prog.Name, len(prog.Procs), totalBlocks(prog), prog.NumInstrs(), prog.MemSize)
+}
+
+func totalBlocks(p *ir.Program) int {
+	n := 0
+	for _, pr := range p.Procs {
+		n += len(pr.Blocks)
+	}
+	return n
+}
+
+func run(args []string) {
+	prog := loadFile(args)
+	res, err := interp.Run(prog, interp.Config{})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("ret      %d\n", res.Ret)
+	fmt.Printf("output   %v\n", res.Output)
+	fmt.Printf("cycles   %d\n", res.Cycles)
+	fmt.Printf("instrs   %d\n", res.DynInstrs)
+	fmt.Printf("branches %d\n", res.DynBranches)
+}
+
+// profileCmd executes the program once, writing edge and/or path
+// profiles to files.
+func profileCmd(args []string) {
+	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	edgeOut := fs.String("edge", "", "write edge profile here")
+	pathOut := fs.String("path", "", "write path profile here")
+	depth := fs.Int("depth", 15, "path depth in branches")
+	_ = fs.Parse(args)
+	if *edgeOut == "" && *pathOut == "" {
+		fatal(fmt.Errorf("profile: need -edge and/or -path output files"))
+	}
+	prog := loadFile(fs.Args())
+	ep := profile.NewEdgeProfiler(prog)
+	pp := profile.NewPathProfiler(prog, profile.PathConfig{Depth: *depth})
+	if _, err := interp.Run(prog, interp.Config{Observer: profile.Multi{ep, pp}}); err != nil {
+		fatal(err)
+	}
+	if *edgeOut != "" {
+		if err := os.WriteFile(*edgeOut, []byte(ep.Profile().WriteText()), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if *pathOut != "" {
+		if err := os.WriteFile(*pathOut, []byte(pp.WriteText()), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	nodes, edges := pp.Stats()
+	fmt.Fprintf(os.Stderr, "profiled %s: %d distinct paths over %d dynamic edges\n",
+		prog.Name, nodes, edges)
+}
+
+// compileCmd forms and compacts a program from saved profiles and
+// prints the compiled IR.
+func compileCmd(args []string) {
+	fs := flag.NewFlagSet("compile", flag.ExitOnError)
+	scheme := fs.String("scheme", "P4", "BB, M4, M16, P4e, P4")
+	edgeIn := fs.String("edge", "", "edge profile file")
+	pathIn := fs.String("path", "", "path profile file")
+	_ = fs.Parse(args)
+	prog := loadFile(fs.Args())
+
+	profs := &root.Profiles{Calls: map[[2]ir.ProcID]int64{}}
+	if *edgeIn != "" {
+		data, err := os.ReadFile(*edgeIn)
+		if err != nil {
+			fatal(err)
+		}
+		e, err := profile.ParseEdgeProfile(len(prog.Procs), string(data))
+		if err != nil {
+			fatal(err)
+		}
+		profs.Edge = e
+	}
+	if *pathIn != "" {
+		data, err := os.ReadFile(*pathIn)
+		if err != nil {
+			fatal(err)
+		}
+		p, err := profile.ParsePathProfile(prog, string(data))
+		if err != nil {
+			fatal(err)
+		}
+		profs.Path = p
+	}
+	if profs.Edge == nil {
+		// Layout weights and edge-based schemes need an edge profile;
+		// derive one by running the program if absent.
+		ep := profile.NewEdgeProfiler(prog)
+		if _, err := interp.Run(prog, interp.Config{Observer: ep}); err != nil {
+			fatal(err)
+		}
+		profs.Edge = ep.Profile()
+	}
+	bin, err := root.Compile(prog, profs, root.Scheme(*scheme))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(ir.WriteText(bin))
+}
+
+func paths(args []string) {
+	fs := flag.NewFlagSet("paths", flag.ExitOnError)
+	top := fs.Int("top", 10, "paths to print per procedure")
+	length := fs.Int("len", 4, "path length in blocks")
+	depth := fs.Int("depth", 15, "profiling depth in branches")
+	_ = fs.Parse(args)
+	prog := loadFile(fs.Args())
+
+	pp := profile.NewPathProfiler(prog, profile.PathConfig{Depth: *depth})
+	if _, err := interp.Run(prog, interp.Config{Observer: pp}); err != nil {
+		fatal(err)
+	}
+	pf := pp.Profile()
+	for _, p := range prog.Procs {
+		type hot struct {
+			seq  []ir.BlockID
+			freq int64
+		}
+		var hots []hot
+		// Enumerate length-N sequences by extending hot blocks greedily
+		// breadth-first through observed successors.
+		frontier := [][]ir.BlockID{}
+		for _, b := range pf.BlocksByFreq(p.ID) {
+			frontier = append(frontier, []ir.BlockID{b})
+		}
+		for step := 1; step < *length; step++ {
+			var next [][]ir.BlockID
+			for _, seq := range frontier {
+				for s := range pf.SuccFreqs(p.ID, seq) {
+					ext := append(append([]ir.BlockID{}, seq...), s)
+					next = append(next, ext)
+				}
+			}
+			frontier = next
+		}
+		for _, seq := range frontier {
+			if f := pf.Freq(p.ID, seq); f > 0 {
+				hots = append(hots, hot{seq, f})
+			}
+		}
+		sort.Slice(hots, func(i, j int) bool {
+			if hots[i].freq != hots[j].freq {
+				return hots[i].freq > hots[j].freq
+			}
+			return fmt.Sprint(hots[i].seq) < fmt.Sprint(hots[j].seq)
+		})
+		if len(hots) > *top {
+			hots = hots[:*top]
+		}
+		if len(hots) == 0 {
+			continue
+		}
+		fmt.Printf("proc %s:\n", p.Name)
+		for _, h := range hots {
+			fmt.Printf("  %8d  %s\n", h.freq, profile.FmtSeq(h.seq))
+		}
+	}
+}

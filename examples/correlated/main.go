@@ -1,0 +1,106 @@
+// Correlated: the paper's "corr" microbenchmark. Two branches in a
+// loop body test the same data-dependent predicate, so the second is
+// fully determined by the first. Edge profiles record two independent
+// 50/50 branches; a general path profile knows that the path through
+// the first branch predicts the second exactly, and the path-based
+// superblock enlarger extends superblocks along the correlated
+// successor (§2.2: "this strategy captures correlation").
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pathsched"
+)
+
+func corrProgram() *pathsched.Program {
+	const dataLen = 512
+	bd := pathsched.NewBuilder("corr", dataLen+16)
+	// Pseudo-random 0/1 data: a fixed xorshift fills the table, so the
+	// predicate is unpredictable pointwise but identical for both
+	// branches of one iteration.
+	vals := make([]int64, dataLen)
+	x := uint64(0x9e3779b97f4a7c15)
+	for i := range vals {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		vals[i] = int64(x & 1)
+	}
+	bd.Data(0, vals...)
+
+	pb := bd.Proc("main")
+	entry, head, first, t1, f1, mid, t2, f2, latch, exit :=
+		pb.NewBlock(), pb.NewBlock(), pb.NewBlock(), pb.NewBlock(), pb.NewBlock(),
+		pb.NewBlock(), pb.NewBlock(), pb.NewBlock(), pb.NewBlock(), pb.NewBlock()
+	const i, s, a, c, t = 1, 2, 3, 4, 5
+	entry.Add(pathsched.MovI(i, 0), pathsched.MovI(s, 0))
+	entry.Jmp(head.ID())
+	head.Add(pathsched.CmpLTI(c, i, 20000))
+	head.Br(c, first.ID(), exit.ID())
+	first.Add(
+		pathsched.AndI(t, i, dataLen-1),
+		pathsched.Load(a, t, 0),
+		pathsched.CmpEQI(c, a, 1),
+	)
+	first.Br(c, t1.ID(), f1.ID())
+	t1.Add(pathsched.AddI(s, s, 7))
+	t1.Jmp(mid.ID())
+	f1.Add(pathsched.AddI(s, s, 1))
+	f1.Jmp(mid.ID())
+	mid.Add(pathsched.XorI(s, s, 0x55), pathsched.CmpEQI(c, a, 1)) // same predicate
+	mid.Br(c, t2.ID(), f2.ID())
+	t2.Add(pathsched.MulI(s, s, 3), pathsched.AndI(s, s, 0xfffff))
+	t2.Jmp(latch.ID())
+	f2.Add(pathsched.ShrI(s, s, 1))
+	f2.Jmp(latch.ID())
+	latch.Add(pathsched.AddI(i, i, 1))
+	latch.Jmp(head.ID())
+	exit.Add(pathsched.Emit(s))
+	exit.Ret(s)
+	return bd.Finish()
+}
+
+func main() {
+	prog := corrProgram()
+	profs, err := pathsched.ProfileProgram(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Block ids: first=2, t1=3, f1=4, mid=5, t2=6, f2=7.
+	fmt.Println("the two branches look independent to an edge profile:")
+	fmt.Printf("  first:  T %d / F %d\n", profs.Edge.EdgeFreq(0, 2, 3), profs.Edge.EdgeFreq(0, 2, 4))
+	fmt.Printf("  second: T %d / F %d\n", profs.Edge.EdgeFreq(0, 5, 6), profs.Edge.EdgeFreq(0, 5, 7))
+	fmt.Println("but paths expose perfect correlation:")
+	fmt.Printf("  f(t1,mid,t2) = %-6d f(t1,mid,f2) = %d\n",
+		profs.Path.Freq(0, []pathsched.BlockID{3, 5, 6}),
+		profs.Path.Freq(0, []pathsched.BlockID{3, 5, 7}))
+	fmt.Printf("  f(f1,mid,f2) = %-6d f(f1,mid,t2) = %d\n",
+		profs.Path.Freq(0, []pathsched.BlockID{4, 5, 7}),
+		profs.Path.Freq(0, []pathsched.BlockID{4, 5, 6}))
+
+	fmt.Println("\nscheduled cycle counts:")
+	var base int64
+	for _, scheme := range []pathsched.Scheme{pathsched.SchemeBB, pathsched.SchemeM4, pathsched.SchemeP4} {
+		bin, err := pathsched.Compile(prog, profs, scheme)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := pathsched.Execute(bin)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if scheme == pathsched.SchemeM4 {
+			base = res.Cycles
+		}
+		fmt.Printf("  %-3s %8d cycles\n", scheme, res.Cycles)
+		if scheme == pathsched.SchemeP4 && base > 0 {
+			fmt.Printf("\nP4 runs at %.1f%% of M4's cycles: superblocks extended along the\n"+
+				"correlated successor rarely take early exits, so speculative code\n"+
+				"motion above the second branch is almost never wasted.\n",
+				100*float64(res.Cycles)/float64(base))
+		}
+	}
+}

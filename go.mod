@@ -1,0 +1,3 @@
+module pathsched
+
+go 1.22

@@ -1,0 +1,61 @@
+package pathsched
+
+import "pathsched/internal/ir"
+
+// Instruction constructors re-exported from the IR so programs can be
+// authored entirely against the public API. See the ir package for
+// detailed semantics; briefly: registers are 64-bit integers, memory
+// is a flat word-addressed array, comparisons yield 0 or 1, and every
+// basic block ends in exactly one control instruction.
+
+// Data movement.
+func MovI(dst Reg, imm int64) Instr { return ir.MovI(dst, imm) }
+func Mov(dst, src Reg) Instr        { return ir.Mov(dst, src) }
+
+// Register-register arithmetic and logic.
+func Add(dst, a, b Reg) Instr { return ir.Add(dst, a, b) }
+func Sub(dst, a, b Reg) Instr { return ir.Sub(dst, a, b) }
+func Mul(dst, a, b Reg) Instr { return ir.Mul(dst, a, b) }
+func And(dst, a, b Reg) Instr { return ir.And(dst, a, b) }
+func Or(dst, a, b Reg) Instr  { return ir.Or(dst, a, b) }
+func Xor(dst, a, b Reg) Instr { return ir.Xor(dst, a, b) }
+func Shl(dst, a, b Reg) Instr { return ir.Shl(dst, a, b) }
+func Shr(dst, a, b Reg) Instr { return ir.Shr(dst, a, b) }
+
+// Register-immediate arithmetic and logic.
+func AddI(dst, a Reg, imm int64) Instr { return ir.AddI(dst, a, imm) }
+func MulI(dst, a Reg, imm int64) Instr { return ir.MulI(dst, a, imm) }
+func AndI(dst, a Reg, imm int64) Instr { return ir.AndI(dst, a, imm) }
+func OrI(dst, a Reg, imm int64) Instr  { return ir.OrI(dst, a, imm) }
+func XorI(dst, a Reg, imm int64) Instr { return ir.XorI(dst, a, imm) }
+func ShlI(dst, a Reg, imm int64) Instr { return ir.ShlI(dst, a, imm) }
+func ShrI(dst, a Reg, imm int64) Instr { return ir.ShrI(dst, a, imm) }
+
+// Comparisons (result is 0 or 1).
+func CmpEQ(dst, a, b Reg) Instr          { return ir.CmpEQ(dst, a, b) }
+func CmpNE(dst, a, b Reg) Instr          { return ir.CmpNE(dst, a, b) }
+func CmpLT(dst, a, b Reg) Instr          { return ir.CmpLT(dst, a, b) }
+func CmpLE(dst, a, b Reg) Instr          { return ir.CmpLE(dst, a, b) }
+func CmpEQI(dst, a Reg, imm int64) Instr { return ir.CmpEQI(dst, a, imm) }
+func CmpNEI(dst, a Reg, imm int64) Instr { return ir.CmpNEI(dst, a, imm) }
+func CmpLTI(dst, a Reg, imm int64) Instr { return ir.CmpLTI(dst, a, imm) }
+func CmpLEI(dst, a Reg, imm int64) Instr { return ir.CmpLEI(dst, a, imm) }
+func CmpGTI(dst, a Reg, imm int64) Instr { return ir.CmpGTI(dst, a, imm) }
+func CmpGEI(dst, a Reg, imm int64) Instr { return ir.CmpGEI(dst, a, imm) }
+
+// Memory and observable output.
+func Load(dst, base Reg, off int64) Instr      { return ir.Load(dst, base, off) }
+func Store(base Reg, off int64, val Reg) Instr { return ir.Store(base, off, val) }
+func Emit(src Reg) Instr                       { return ir.Emit(src) }
+
+// Control flow.
+func Br(cond Reg, taken, fallthru BlockID) Instr { return ir.Br(cond, taken, fallthru) }
+func Jmp(target BlockID) Instr                   { return ir.Jmp(target) }
+func Switch(idx Reg, targets ...BlockID) Instr   { return ir.Switch(idx, targets...) }
+func Ret(src Reg) Instr                          { return ir.Ret(src) }
+
+// Call invokes callee with args and continues at cont; the callee's r0
+// lands in dst.
+func Call(dst Reg, callee ProcID, cont BlockID, args ...Reg) Instr {
+	return ir.Call(dst, callee, cont, args...)
+}

@@ -1,0 +1,205 @@
+// Package bench provides the benchmark suite of the evaluation
+// (paper §3.3, Table 1). The paper measured DEC Alpha binaries of three
+// microbenchmarks plus SPECint92/95 programs; those binaries cannot be
+// reproduced here, so each benchmark is re-created as an IR program
+// engineered to exhibit the same *control-flow character* the paper
+// attributes to it — the property path-based formation actually
+// exploits. Each benchmark has distinct training and testing inputs
+// derived from seeded PRNGs, mirroring the paper's train/test split.
+// Dynamic sizes are scaled down (~10⁵–10⁶ branches instead of
+// 10⁶–10⁹) so the full suite runs in seconds.
+package bench
+
+import (
+	"fmt"
+
+	"pathsched/internal/ir"
+)
+
+// Input parameterizes one run of a benchmark. Microbenchmarks ignore
+// the seed ("null" input, as in Table 1).
+type Input struct {
+	Label string // e.g. "train", "test"
+	Seed  uint64 // PRNG seed for data generation
+	Scale int64  // main size knob (iterations / input length)
+}
+
+// Benchmark describes one suite member.
+type Benchmark struct {
+	Name        string
+	Description string // mirrors Table 1's description column
+	Category    string // "micro", "SPECint92", "SPECint95"
+
+	// Build constructs the program with the given input baked into its
+	// data segments and loop bounds.
+	Build func(in Input) *ir.Program
+
+	// Train and Test are the canonical inputs (Table 1 lists only the
+	// testing data sets; training uses different seeds/sizes).
+	Train Input
+	Test  Input
+}
+
+// registry holds the suite in presentation order (micro, SPECint92,
+// SPECint95), matching Table 1.
+var registry []*Benchmark
+
+func register(b *Benchmark) { registry = append(registry, b) }
+
+// All returns the benchmark suite in Table 1 order.
+func All() []*Benchmark { return registry }
+
+// ByName returns the named benchmark or nil.
+func ByName(name string) *Benchmark {
+	for _, b := range registry {
+		if b.Name == name {
+			return b
+		}
+	}
+	return nil
+}
+
+// Names returns all benchmark names, in suite order.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, b := range registry {
+		out[i] = b.Name
+	}
+	return out
+}
+
+// rng is a small deterministic splitmix64 generator, so benchmark data
+// never depends on library PRNG evolution.
+type rng struct{ s uint64 }
+
+func newRng(seed uint64) *rng { return &rng{s: seed + 0x9e3779b97f4a7c15} }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a value in [0, n).
+func (r *rng) intn(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return int64(r.next() % uint64(n))
+}
+
+// gen is a tiny structured-programming layer over the IR builder:
+// benchmarks describe loops, conditionals, switches, and calls, and
+// gen wires the basic blocks. It keeps the 14 generators short and
+// verifier-clean.
+type gen struct {
+	pb  *ir.ProcBuilder
+	cur *ir.BlockBuilder
+}
+
+func newGen(pb *ir.ProcBuilder) *gen {
+	return &gen{pb: pb, cur: pb.NewBlock()}
+}
+
+// emit appends straight-line instructions to the current block.
+func (g *gen) emit(instrs ...ir.Instr) { g.cur.Add(instrs...) }
+
+// while builds a loop: cond emits the condition computation into the
+// loop head and returns the register tested; body emits the loop body.
+func (g *gen) while(cond func() ir.Reg, body func()) {
+	head := g.pb.NewBlock()
+	g.cur.Jmp(head.ID())
+	g.cur = head
+	c := cond()
+	bodyB := g.pb.NewBlock()
+	exit := g.pb.NewBlock()
+	g.cur.Br(c, bodyB.ID(), exit.ID())
+	g.cur = bodyB
+	body()
+	if !g.cur.Terminated() {
+		g.cur.Jmp(head.ID())
+	}
+	g.cur = exit
+}
+
+// forRange builds "for r = lo; r < hi; r += step { body }".
+func (g *gen) forRange(r ir.Reg, lo, hi, step int64, body func()) {
+	g.emit(ir.MovI(r, lo))
+	g.while(func() ir.Reg {
+		g.emit(ir.CmpLTI(scratch, r, hi))
+		return scratch
+	}, func() {
+		body()
+		g.emit(ir.AddI(r, r, step))
+	})
+}
+
+// ifElse builds a diamond; either arm may be nil (an empty arm).
+func (g *gen) ifElse(c ir.Reg, then, els func()) {
+	tb := g.pb.NewBlock()
+	eb := g.pb.NewBlock()
+	join := g.pb.NewBlock()
+	g.cur.Br(c, tb.ID(), eb.ID())
+	g.cur = tb
+	if then != nil {
+		then()
+	}
+	if !g.cur.Terminated() {
+		g.cur.Jmp(join.ID())
+	}
+	g.cur = eb
+	if els != nil {
+		els()
+	}
+	if !g.cur.Terminated() {
+		g.cur.Jmp(join.ID())
+	}
+	g.cur = join
+}
+
+// switchOn builds a multiway dispatch; the last function handles the
+// default (out-of-range) case.
+func (g *gen) switchOn(idx ir.Reg, cases ...func()) {
+	blocks := make([]*ir.BlockBuilder, len(cases))
+	targets := make([]ir.BlockID, len(cases))
+	for i := range cases {
+		blocks[i] = g.pb.NewBlock()
+		targets[i] = blocks[i].ID()
+	}
+	join := g.pb.NewBlock()
+	g.cur.Switch(idx, targets...)
+	for i, fn := range cases {
+		g.cur = blocks[i]
+		fn()
+		if !g.cur.Terminated() {
+			g.cur.Jmp(join.ID())
+		}
+	}
+	g.cur = join
+}
+
+// call invokes callee and continues in a fresh block.
+func (g *gen) call(dst ir.Reg, callee ir.ProcID, args ...ir.Reg) {
+	cont := g.pb.NewBlock()
+	g.cur.Call(dst, callee, cont.ID(), args...)
+	g.cur = cont
+}
+
+// ret ends the procedure.
+func (g *gen) ret(r ir.Reg) { g.cur.Ret(r) }
+
+// scratch is the register gen's helpers use for conditions; benchmark
+// bodies must not keep live values in it across helper calls.
+const scratch ir.Reg = 63
+
+// mustBuild wraps Build with a panic-on-invalid check used by the
+// registry's self-test.
+func mustBuild(b *Benchmark, in Input) *ir.Program {
+	p := b.Build(in)
+	if err := ir.Verify(p); err != nil {
+		panic(fmt.Sprintf("bench %s: invalid program: %v", b.Name, err))
+	}
+	return p
+}

@@ -1,0 +1,92 @@
+package bench
+
+import "pathsched/internal/ir"
+
+// Real SPEC binaries range from ~250KB (li) to 5.6MB (gcc) — far
+// beyond the 32KB instruction cache — so the paper's Figure 5/6
+// effects hinge on code-expansion-induced misses. The hot kernels
+// re-created in this package are tiny, so without additional code mass
+// every scheme would be cache-resident and the cache experiments
+// degenerate. addColdMass supplies the missing realism: a flat tail of
+// utility procedures (think error paths, printers, rarely-used
+// library code) that the benchmark touches periodically, occupying
+// cache lines the way a real program's lukewarm code does.
+//
+// The returned dispatch procedure takes a selector in r1 and invokes
+// one utility procedure; hot loops call it every touchEvery-th
+// iteration with a rotating selector.
+func addColdMass(bd *ir.Builder, seed uint64, procs, bodyDiamonds int) ir.ProcID {
+	r := newRng(seed)
+	ids := make([]ir.ProcID, procs)
+	for k := 0; k < procs; k++ {
+		p := bd.Proc("util")
+		g := newGen(p)
+		const x, acc, c, t = ir.RegArg0, 8, 9, 10
+		g.emit(ir.Mov(acc, x))
+		for d := 0; d < bodyDiamonds; d++ {
+			// A diamond with a chunky straight-line body on each arm:
+			// ~14 instructions per diamond.
+			mask := int64(1) << uint(r.intn(6))
+			g.emit(ir.AndI(t, acc, mask), ir.CmpEQI(c, t, 0))
+			g.ifElse(c, func() {
+				g.emit(
+					ir.AddI(acc, acc, r.intn(64)+1),
+					ir.XorI(acc, acc, r.intn(255)+1),
+					ir.ShlI(t, acc, 1),
+					ir.Add(acc, acc, t),
+					ir.AndI(acc, acc, 0xffffff),
+				)
+			}, func() {
+				g.emit(
+					ir.MulI(acc, acc, r.intn(7)+3),
+					ir.ShrI(acc, acc, 2),
+					ir.OrI(acc, acc, r.intn(15)+1),
+					ir.AddI(acc, acc, r.intn(32)),
+					ir.AndI(acc, acc, 0xffffff),
+				)
+			})
+		}
+		g.ret(acc)
+		ids[k] = p.ID()
+	}
+
+	// Dispatcher: switch over all utility procedures.
+	disp := bd.Proc("utilDispatch")
+	dg := newGen(disp)
+	const sel = ir.RegArg0
+	targets := make([]*ir.BlockBuilder, procs+1)
+	tids := make([]ir.BlockID, procs+1)
+	for i := range targets {
+		targets[i] = disp.NewBlock()
+		tids[i] = targets[i].ID()
+	}
+	dg.cur.Switch(sel, tids...)
+	for k := 0; k < procs; k++ {
+		kg := &gen{pb: disp, cur: targets[k]}
+		kg.call(ir.RegRet, ids[k], sel)
+		kg.ret(ir.RegRet)
+	}
+	// Default: no work.
+	targets[procs].Add(ir.MovI(ir.RegRet, 0))
+	targets[procs].Ret(ir.RegRet)
+	return disp.ID()
+}
+
+// touchColdMass emits, inside a hot loop, the periodic dispatch call:
+// every 2^everyShift-th value of iter, call dispatch with selector
+// (iter >> everyShift) & (procs-1). procs must be a power of two.
+// Registers 58-60 are used as scratch.
+func touchColdMass(g *gen, dispatch ir.ProcID, iter ir.Reg, everyShift uint, procs int64) {
+	const t, sel, res = 58, 59, 60
+	g.emit(
+		ir.AndI(t, iter, (1<<everyShift)-1),
+		ir.CmpEQI(t, t, 0),
+	)
+	g.ifElse(t, func() {
+		g.emit(
+			ir.ShrI(sel, iter, int64(everyShift)),
+			ir.AndI(sel, sel, procs-1),
+		)
+		g.call(res, dispatch, sel)
+	}, nil)
+}

@@ -1,0 +1,127 @@
+package bench
+
+import "pathsched/internal/ir"
+
+// The three microbenchmarks of Table 1: idealized examples of behaviour
+// that path profiles expose but point profiles cannot (§3.3). They
+// take no meaningful input ("null" in Table 1), so training and
+// testing runs are identical by design.
+
+func init() {
+	register(&Benchmark{
+		Name:        "alt",
+		Description: "Sorted example: loop conditional repeats TTTF",
+		Category:    "micro",
+		Build:       buildAlt,
+		Train:       Input{Label: "null", Scale: 60000},
+		Test:        Input{Label: "null", Scale: 60000},
+	})
+	register(&Benchmark{
+		Name:        "ph",
+		Description: "Phased example: loop conditional runs TT…TFF…F",
+		Category:    "micro",
+		Build:       buildPh,
+		Train:       Input{Label: "null", Scale: 60000},
+		Test:        Input{Label: "null", Scale: 60000},
+	})
+	register(&Benchmark{
+		Name:        "corr",
+		Description: "Branch correlation example (Young & Smith [20])",
+		Category:    "micro",
+		Build:       buildCorr,
+		Train:       Input{Label: "null", Seed: 11, Scale: 15000},
+		Test:        Input{Label: "null", Seed: 11, Scale: 15000},
+	})
+}
+
+// buildAlt is Figure 3's alternating loop: the conditional inside the
+// loop follows the repeating pattern TTTF, so the dominant general
+// path is ABD·ABD·ABD·ACD — invisible to an edge profile, which only
+// records a 75/25 split.
+func buildAlt(in Input) *ir.Program {
+	bd := ir.NewBuilder("alt", 64)
+	pb := bd.Proc("main")
+	g := newGen(pb)
+	const i, s, t, c = 1, 2, 3, 4
+	g.emit(ir.MovI(s, 0))
+	g.forRange(i, 0, in.Scale, 1, func() {
+		g.emit(ir.AndI(t, i, 3), ir.CmpNEI(c, t, 3))
+		g.ifElse(c, func() {
+			g.emit(ir.AddI(s, s, 1), ir.XorI(s, s, 5))
+		}, func() {
+			g.emit(ir.MulI(s, s, 3), ir.AndI(s, s, 0xffff))
+		})
+		g.emit(ir.AddI(s, s, 2)) // block D: the common join work
+	})
+	g.emit(ir.Emit(s))
+	g.ret(s)
+	return bd.Finish()
+}
+
+// buildPh is Figure 3's phased loop: the conditional goes one way for
+// the first phase of the loop and the other way afterwards. Path
+// profiles within a phase see a pure single-direction history, so
+// path-driven unrolling specializes both phases.
+func buildPh(in Input) *ir.Program {
+	bd := ir.NewBuilder("ph", 64)
+	pb := bd.Proc("main")
+	g := newGen(pb)
+	const i, s, c = 1, 2, 3
+	threshold := in.Scale * 2 / 3
+	g.emit(ir.MovI(s, 0))
+	g.forRange(i, 0, in.Scale, 1, func() {
+		g.emit(ir.CmpLTI(c, i, threshold))
+		g.ifElse(c, func() {
+			g.emit(ir.AddI(s, s, 1), ir.XorI(s, s, 9))
+		}, func() {
+			g.emit(ir.MulI(s, s, 5), ir.AndI(s, s, 0xfffff))
+		})
+		g.emit(ir.AddI(s, s, 3))
+	})
+	g.emit(ir.Emit(s))
+	g.ret(s)
+	return bd.Finish()
+}
+
+// buildCorr is the simple correlation example: two branches in the
+// loop body test the same data-dependent predicate, so the second is
+// fully determined by the first. Edge profiles see two independent
+// 50/50 branches; the path through the first branch predicts the
+// second exactly.
+func buildCorr(in Input) *ir.Program {
+	const dataLen = 1024
+	r := newRng(in.Seed)
+	data := make([]int64, dataLen)
+	for i := range data {
+		data[i] = r.intn(2)
+	}
+	bd := ir.NewBuilder("corr", dataLen+64)
+	bd.Data(0, data...)
+	pb := bd.Proc("main")
+	g := newGen(pb)
+	const i, s, a, t, c = 1, 2, 3, 4, 5
+	g.emit(ir.MovI(s, 0))
+	g.forRange(i, 0, in.Scale, 1, func() {
+		g.emit(
+			ir.AndI(t, i, dataLen-1),
+			ir.Load(a, t, 0), // a = data[i % dataLen] ∈ {0,1}
+		)
+		g.emit(ir.CmpEQI(c, a, 1))
+		g.ifElse(c, func() {
+			g.emit(ir.AddI(s, s, 7))
+		}, func() {
+			g.emit(ir.AddI(s, s, 1))
+		})
+		// Filler work between the correlated pair.
+		g.emit(ir.XorI(s, s, 0x55), ir.AddI(s, s, 2))
+		g.emit(ir.CmpEQI(c, a, 1)) // same predicate: fully correlated
+		g.ifElse(c, func() {
+			g.emit(ir.MulI(s, s, 3), ir.AndI(s, s, 0xfffff))
+		}, func() {
+			g.emit(ir.ShrI(s, s, 1))
+		})
+	})
+	g.emit(ir.Emit(s))
+	g.ret(s)
+	return bd.Finish()
+}

@@ -1,0 +1,204 @@
+package bench
+
+import "pathsched/internal/ir"
+
+// eqntott and espresso: the SPECint92 members of Table 1 beyond
+// compress. eqntott's performance is dominated by a high-iteration
+// comparison loop whose guarded block is tiny (the paper notes loop
+// unrolling matters more for it than correlation exploitation, §4);
+// espresso is branchy boolean-mask crunching over cube lists.
+
+func init() {
+	register(&Benchmark{
+		Name:        "eqn",
+		Description: "Translates boolean equations to truth tables",
+		Category:    "SPECint92",
+		Build:       buildEqntott,
+		Train:       Input{Label: "train encoder", Seed: 505, Scale: 900},
+		Test:        Input{Label: "priority encoder (SPEC92 ref)", Seed: 606, Scale: 1500},
+	})
+	register(&Benchmark{
+		Name:        "esp",
+		Description: "Boolean minimization",
+		Category:    "SPECint92",
+		Build:       buildEspresso,
+		Train:       Input{Label: "train pla", Seed: 707, Scale: 120},
+		Test:        Input{Label: "tial (SPEC92 ref)", Seed: 808, Scale: 200},
+	})
+}
+
+// buildEqntott: Scale vector pairs of 64 words each are compared by a
+// cmppt-style procedure. Vectors are mostly equal with a difference
+// near the tail, so the inner loop's "elements differ" branch — which
+// guards a very small block — is highly biased and iterates ~64 times
+// per call: unrolling territory.
+func buildEqntott(in Input) *ir.Program {
+	const vecLen = 64
+	r := newRng(in.Seed)
+	pairs := in.Scale
+	// Memory: pairs of vectors laid out consecutively: a at
+	// pairBase, b at pairBase+vecLen.
+	var data []int64
+	for p := int64(0); p < pairs; p++ {
+		a := make([]int64, vecLen)
+		for i := range a {
+			a[i] = r.intn(4)
+		}
+		b := append([]int64(nil), a...)
+		if r.intn(8) != 0 { // most pairs differ somewhere near the end
+			pos := vecLen - 1 - r.intn(6)
+			b[pos] = a[pos] + 1 + r.intn(2)
+		}
+		data = append(data, a...)
+		data = append(data, b...)
+	}
+	bd := ir.NewBuilder("eqn", int64(len(data))+64)
+	bd.Data(0, data...)
+	cold := addColdMass(bd, 41, 16, 5)
+
+	// cmppt(aBase, bBase) -> -1/0/1, comparing vecLen words.
+	cmp := bd.Proc("cmppt")
+	cg := newGen(cmp)
+	{
+		const aBase, bBase = ir.RegArg0, ir.RegArg0 + 1
+		const i, av, bv, c, t = 8, 9, 10, 11, 12
+		cg.forRange(i, 0, vecLen, 1, func() {
+			cg.emit(
+				ir.Add(t, aBase, i),
+				ir.Load(av, t, 0),
+				ir.Add(t, bBase, i),
+				ir.Load(bv, t, 0),
+				ir.CmpNE(c, av, bv),
+			)
+			// The tiny guarded block: almost never entered until the
+			// difference position.
+			cg.ifElse(c, func() {
+				cg.emit(ir.CmpLT(c, av, bv))
+				cg.ifElse(c, func() {
+					cg.emit(ir.MovI(ir.RegRet, -1))
+					cg.ret(ir.RegRet)
+				}, func() {
+					cg.emit(ir.MovI(ir.RegRet, 1))
+					cg.ret(ir.RegRet)
+				})
+				// Unreachable joins are harmless; the verifier accepts
+				// them and layout skips them.
+			}, nil)
+		})
+		cg.emit(ir.MovI(ir.RegRet, 0))
+		cg.ret(ir.RegRet)
+	}
+
+	pb := bd.Proc("main")
+	g := newGen(pb)
+	const p, sum, a1, b1, res = 8, 9, 10, 11, 12
+	g.emit(ir.MovI(sum, 0))
+	g.forRange(p, 0, pairs, 1, func() {
+		touchColdMass(g, cold, p, 2, 16)
+		g.emit(
+			ir.MulI(a1, p, 2*vecLen),
+			ir.AddI(b1, a1, vecLen),
+		)
+		g.call(res, cmp.ID(), a1, b1)
+		g.emit(ir.Add(sum, sum, res), ir.AddI(sum, sum, 2))
+	})
+	g.emit(ir.Emit(sum))
+	g.ret(sum)
+	return bd.Finish()
+}
+
+// buildEspresso: a cube-cover pass. Scale cubes of 4 mask words each;
+// for every ordered pair, intersect masks word by word and classify
+// (disjoint / contained / overlapping) with moderately biased
+// branches, calling small helper procedures — espresso's flavour of
+// pointer-light mask crunching over quadratic pair loops.
+func buildEspresso(in Input) *ir.Program {
+	const cubeWords = 4
+	r := newRng(in.Seed)
+	n := in.Scale
+	data := make([]int64, n*cubeWords)
+	for i := range data {
+		// Sparse-ish masks so intersections are often empty.
+		data[i] = int64(r.next() & r.next() & 0xffff)
+	}
+	bd := ir.NewBuilder("esp", int64(len(data))+64)
+	bd.Data(0, data...)
+	cold := addColdMass(bd, 43, 32, 7)
+
+	// disjoint(aBase, bBase) -> 1 if masks never overlap.
+	dis := bd.Proc("disjoint")
+	{
+		dg := newGen(dis)
+		const aBase, bBase = ir.RegArg0, ir.RegArg0 + 1
+		const i, av, bv, c, t, acc = 8, 9, 10, 11, 12, 13
+		dg.emit(ir.MovI(acc, 0))
+		dg.forRange(i, 0, cubeWords, 1, func() {
+			dg.emit(
+				ir.Add(t, aBase, i),
+				ir.Load(av, t, 0),
+				ir.Add(t, bBase, i),
+				ir.Load(bv, t, 0),
+				ir.And(av, av, bv),
+				ir.Or(acc, acc, av),
+			)
+		})
+		dg.emit(ir.CmpEQI(ir.RegRet, acc, 0))
+		dg.ret(ir.RegRet)
+	}
+
+	// contains(aBase, bBase) -> 1 if b ⊆ a.
+	con := bd.Proc("contains")
+	{
+		cg := newGen(con)
+		const aBase, bBase = ir.RegArg0, ir.RegArg0 + 1
+		const i, av, bv, c, t, ok = 8, 9, 10, 11, 12, 13
+		cg.emit(ir.MovI(ok, 1))
+		cg.forRange(i, 0, cubeWords, 1, func() {
+			cg.emit(
+				ir.Add(t, aBase, i),
+				ir.Load(av, t, 0),
+				ir.Add(t, bBase, i),
+				ir.Load(bv, t, 0),
+				ir.And(av, av, bv),
+				ir.CmpEQ(c, av, bv),
+			)
+			cg.ifElse(c, nil, func() {
+				cg.emit(ir.MovI(ok, 0))
+			})
+		})
+		cg.ret(ok)
+	}
+
+	pb := bd.Proc("main")
+	g := newGen(pb)
+	const i, j, ai, bj, c, res, covers, djs, ovl = 8, 9, 10, 11, 12, 13, 14, 15, 16
+	g.emit(ir.MovI(covers, 0), ir.MovI(djs, 0), ir.MovI(ovl, 0))
+	g.forRange(i, 0, n, 1, func() {
+		touchColdMass(g, cold, i, 0, 32)
+		g.forRange(j, 0, n, 1, func() {
+			g.emit(ir.CmpEQ(c, i, j))
+			g.ifElse(c, nil, func() {
+				g.emit(
+					ir.MulI(ai, i, cubeWords),
+					ir.MulI(bj, j, cubeWords),
+				)
+				g.call(res, dis.ID(), ai, bj)
+				g.emit(ir.CmpEQI(c, res, 1))
+				g.ifElse(c, func() {
+					g.emit(ir.AddI(djs, djs, 1))
+				}, func() {
+					g.call(res, con.ID(), ai, bj)
+					g.emit(ir.CmpEQI(c, res, 1))
+					g.ifElse(c, func() {
+						g.emit(ir.AddI(covers, covers, 1))
+					}, func() {
+						g.emit(ir.AddI(ovl, ovl, 1))
+					})
+				})
+			})
+		})
+	})
+	g.emit(ir.Emit(covers), ir.Emit(djs), ir.Emit(ovl))
+	g.ret(ovl)
+	return bd.Finish()
+}

@@ -1,0 +1,307 @@
+package bench
+
+import "pathsched/internal/ir"
+
+// gcc, go, and ijpeg. Table 1's characterizations drive the shapes:
+// gcc is a large, flat-profile program (5.6MB binary) with many small
+// procedures and low-iteration loops; go is dominated by low-iteration
+// loops and frequent procedure calls with irregular, data-dependent
+// branches (§4: unrolling alone cannot help it); ijpeg is dominated by
+// a few regular nested loops over image blocks.
+
+func init() {
+	register(&Benchmark{
+		Name:        "gcc",
+		Description: "GNU C compiler (many passes, flat profile)",
+		Category:    "SPECint95",
+		Build:       buildGcc,
+		Train:       Input{Label: "train unit", Seed: 909, Scale: 2600},
+		Test:        Input{Label: "cccp.i (SPEC95 ref)", Seed: 1010, Scale: 4200},
+	})
+	register(&Benchmark{
+		Name:        "go",
+		Description: "Plays the game of Go (search + evaluation)",
+		Category:    "SPECint95",
+		Build:       buildGo,
+		Train:       Input{Label: "train position", Seed: 1111, Scale: 60},
+		Test:        Input{Label: "9stone21 (SPEC95 ref)", Seed: 1212, Scale: 100},
+	})
+	register(&Benchmark{
+		Name:        "ijpeg",
+		Description: "JPEG encoder (blockwise nested loops)",
+		Category:    "SPECint95",
+		Build:       buildIjpeg,
+		Train:       Input{Label: "train image", Seed: 1313, Scale: 160},
+		Test:        Input{Label: "vigo (SPEC95 ref)", Seed: 1414, Scale: 240},
+	})
+}
+
+// buildGcc generates numPasses little "compiler pass" procedures with
+// seeded bodies (diamond chains, a small loop, a switch) and a driver
+// that, for each input "function", dispatches a data-dependent subset
+// of passes. The result is a big binary with a flat execution profile
+// and mostly low-iteration control flow — the shape that made gcc's
+// I-cache behaviour sensitive to code expansion in §4.
+func buildGcc(in Input) *ir.Program {
+	const numPasses = 36
+	const dataLen = 2048
+	r := newRng(in.Seed)
+	data := make([]int64, dataLen)
+	for i := range data {
+		data[i] = int64(r.next() & 0xffff)
+	}
+	bd := ir.NewBuilder("gcc", dataLen+64)
+	bd.Data(0, data...)
+	cold := addColdMass(bd, 47, 128, 7)
+
+	structRng := newRng(42) // pass structure is part of the "source code"
+	var passes []ir.ProcID
+	for p := 0; p < numPasses; p++ {
+		proc := bd.Proc("pass")
+		pg := newGen(proc)
+		const x, acc, c, t, idx = ir.RegArg0, 8, 9, 10, 11
+		pg.emit(ir.Mov(acc, x))
+		// A chain of biased diamonds.
+		nd := 2 + structRng.intn(4)
+		for d := int64(0); d < nd; d++ {
+			mask := int64(1) << uint(structRng.intn(5))
+			pg.emit(ir.AndI(t, acc, mask), ir.CmpEQI(c, t, 0))
+			pg.ifElse(c, func() {
+				pg.emit(ir.AddI(acc, acc, 3+d))
+			}, func() {
+				pg.emit(ir.XorI(acc, acc, 0x1f+d), ir.ShrI(acc, acc, 1), ir.AddI(acc, acc, 1))
+			})
+		}
+		// A low-iteration loop (1-4 trips), data independent.
+		trips := 1 + structRng.intn(4)
+		pg.forRange(idx, 0, trips, 1, func() {
+			pg.emit(ir.MulI(acc, acc, 3), ir.AndI(acc, acc, 0xffffff), ir.AddI(acc, acc, 7))
+		})
+		// A small switch on low bits.
+		pg.emit(ir.AndI(t, acc, 3))
+		pg.switchOn(t,
+			func() { pg.emit(ir.AddI(acc, acc, 11)) },
+			func() { pg.emit(ir.XorI(acc, acc, 0x33)) },
+			func() { pg.emit(ir.ShrI(acc, acc, 2), ir.AddI(acc, acc, 5)) },
+			func() { pg.emit(ir.MulI(acc, acc, 5), ir.AndI(acc, acc, 0xfffff)) },
+		)
+		pg.ret(acc)
+		passes = append(passes, proc.ID())
+	}
+
+	pb := bd.Proc("main")
+	g := newGen(pb)
+	const fn, word, acc, c, t, res = 8, 9, 10, 11, 12, 13
+	g.emit(ir.MovI(acc, 0))
+	g.forRange(fn, 0, in.Scale, 1, func() {
+		touchColdMass(g, cold, fn, 2, 128)
+		g.emit(
+			ir.AndI(t, fn, dataLen-1),
+			ir.Load(word, t, 0),
+		)
+		// Each "function" runs a data-selected subset of passes.
+		for p := 0; p < numPasses; p++ {
+			p := p
+			bit := int64(1) << uint(p%14)
+			g.emit(ir.AndI(t, word, bit), ir.CmpNEI(c, t, 0))
+			g.ifElse(c, func() {
+				g.call(res, passes[p], word)
+				g.emit(ir.Add(acc, acc, res), ir.AndI(acc, acc, 0xffffff))
+			}, nil)
+		}
+	})
+	g.emit(ir.Emit(acc))
+	g.ret(acc)
+	return bd.Finish()
+}
+
+// buildGo models game-tree search: a recursive minimax over a branchy,
+// data-dependent evaluation of a seeded "board". Depth is shallow and
+// loops are short (legal-move scans of ≤4 candidates), but calls are
+// everywhere — the profile §4 says defeats pure unrolling.
+func buildGo(in Input) *ir.Program {
+	const boardLen = 512
+	r := newRng(in.Seed)
+	board := make([]int64, boardLen)
+	for i := range board {
+		board[i] = r.intn(3) // empty/black/white
+	}
+	bd := ir.NewBuilder("go", boardLen+64)
+	bd.Data(0, board...)
+	cold := addColdMass(bd, 53, 64, 6)
+
+	// eval(pos) -> score: branchy neighborhood inspection.
+	eval := bd.Proc("eval")
+	{
+		eg := newGen(eval)
+		const pos = ir.RegArg0
+		const sc, v, c, t, k = 8, 9, 10, 11, 12
+		eg.emit(ir.MovI(sc, 0))
+		eg.forRange(k, 0, 4, 1, func() {
+			eg.emit(
+				ir.MulI(t, k, 17),
+				ir.Add(t, t, pos),
+				ir.AndI(t, t, boardLen-1),
+				ir.Load(v, t, 0),
+				ir.CmpEQI(c, v, 1),
+			)
+			eg.ifElse(c, func() {
+				eg.emit(ir.AddI(sc, sc, 3))
+			}, func() {
+				eg.emit(ir.CmpEQI(c, v, 2))
+				eg.ifElse(c, func() {
+					eg.emit(ir.AddI(sc, sc, -2))
+				}, func() {
+					eg.emit(ir.AddI(sc, sc, 1))
+				})
+			})
+		})
+		eg.ret(sc)
+	}
+
+	// search(pos, depth) -> best score over up-to-4 candidate moves,
+	// recursing to depth 0 with data-dependent pruning.
+	search := bd.Proc("search")
+	{
+		sg := newGen(search)
+		const pos, depth = ir.RegArg0, ir.RegArg0 + 1
+		const best, m, np, v, c, sc = 8, 9, 10, 11, 12, 13
+		sg.emit(ir.CmpEQI(c, depth, 0))
+		sg.ifElse(c, func() {
+			sg.call(ir.RegRet, eval.ID(), pos)
+			sg.ret(ir.RegRet)
+		}, nil)
+		sg.emit(ir.MovI(best, -1_000_000))
+		sg.forRange(m, 0, 4, 1, func() {
+			sg.emit(
+				ir.MulI(np, m, 31),
+				ir.Add(np, np, pos),
+				ir.MulI(np, np, 7),
+				ir.AndI(np, np, boardLen-1),
+				ir.Load(v, np, 0),
+				ir.CmpEQI(c, v, 2), // occupied by opponent: prune
+			)
+			sg.ifElse(c, nil, func() {
+				touchColdMass(sg, cold, np, 3, 64)
+				sg.emit(ir.AddI(sc, depth, -1))
+				sg.call(sc, search.ID(), np, sc)
+				sg.emit(ir.CmpLT(c, best, sc))
+				sg.ifElse(c, func() {
+					sg.emit(ir.Mov(best, sc))
+				}, nil)
+			})
+		})
+		sg.ret(best)
+	}
+
+	pb := bd.Proc("main")
+	g := newGen(pb)
+	const root, total, sc, t = 8, 9, 10, 11
+	g.emit(ir.MovI(total, 0))
+	g.forRange(root, 0, in.Scale, 1, func() {
+		g.emit(ir.MulI(t, root, 13), ir.AndI(t, t, boardLen-1))
+		g.call(sc, search.ID(), t, constReg(g, 5))
+		g.emit(ir.Add(total, total, sc))
+	})
+	g.emit(ir.Emit(total))
+	g.ret(total)
+	return bd.Finish()
+}
+
+// constReg materializes a small constant into a register for argument
+// passing and returns that register.
+func constReg(g *gen, v int64) ir.Reg {
+	const tmp = 40
+	g.emit(ir.MovI(tmp, v))
+	return tmp
+}
+
+// buildIjpeg processes a Scale×Scale image 8×8-block-wise: a transform
+// accumulation over each block (regular, high trip-count nests) and a
+// data-biased quantization branch per coefficient. Performance is
+// dominated by these few loops.
+func buildIjpeg(in Input) *ir.Program {
+	side := in.Scale - in.Scale%8 // multiple of 8
+	if side < 16 {
+		side = 16
+	}
+	pixels := side * side
+	r := newRng(in.Seed)
+	img := make([]int64, pixels)
+	for i := range img {
+		// Smooth-ish image: neighbouring values correlate, so the
+		// quantization branch is strongly biased within regions.
+		if i == 0 {
+			img[i] = 128
+		} else {
+			img[i] = (img[i-1]*7+int64(r.intn(32))-16)/7 + r.intn(3) - 1
+			if img[i] < 0 {
+				img[i] = 0
+			}
+			if img[i] > 255 {
+				img[i] = 255
+			}
+		}
+	}
+	outBase := pixels
+	bd := ir.NewBuilder("ijpeg", pixels+pixels+64)
+	bd.Data(0, img...)
+	cold := addColdMass(bd, 59, 32, 7)
+
+	pb := bd.Proc("main")
+	g := newGen(pb)
+	const bx, by, i, j, addr, v, sum, c, t, nz = 8, 9, 10, 11, 12, 13, 14, 15, 16, 17
+	const blockCtr = 20
+	g.emit(ir.MovI(nz, 0), ir.MovI(blockCtr, 0))
+	g.forRange(by, 0, side/8, 1, func() {
+		g.forRange(bx, 0, side/8, 1, func() {
+			g.emit(ir.AddI(blockCtr, blockCtr, 1))
+			touchColdMass(g, cold, blockCtr, 2, 32)
+			g.emit(ir.MovI(sum, 0))
+			// Transform accumulation over the 8x8 block.
+			g.forRange(i, 0, 8, 1, func() {
+				g.forRange(j, 0, 8, 1, func() {
+					g.emit(
+						ir.MulI(addr, by, 8),
+						ir.Add(addr, addr, i),
+						ir.MulI(addr, addr, side),
+						ir.MulI(t, bx, 8),
+						ir.Add(addr, addr, t),
+						ir.Add(addr, addr, j),
+						ir.Load(v, addr, 0),
+						ir.Add(t, i, j),
+						ir.MulI(t, t, 3),
+						ir.AddI(t, t, 1),
+						ir.Mul(v, v, t),
+						ir.Add(sum, sum, v),
+					)
+				})
+			})
+			// Quantization: one biased branch per coefficient row.
+			g.forRange(i, 0, 8, 1, func() {
+				g.emit(
+					ir.Mul(t, i, i),
+					ir.AddI(t, t, 1),
+					ir.ShrI(v, sum, 4),
+					ir.CmpLT(c, t, v),
+				)
+				g.ifElse(c, func() {
+					g.emit(ir.AddI(nz, nz, 1))
+				}, nil)
+				// Output coefficient i of block (bx, by): 8 words per
+				// block, (side/8)² blocks, all inside the output plane.
+				g.emit(
+					ir.MulI(addr, by, side/8),
+					ir.Add(addr, addr, bx),
+					ir.MulI(addr, addr, 8),
+					ir.Add(addr, addr, i),
+					ir.AddI(addr, addr, outBase),
+					ir.Store(addr, 0, v),
+				)
+			})
+		})
+	})
+	g.emit(ir.Emit(nz))
+	g.ret(nz)
+	return bd.Finish()
+}

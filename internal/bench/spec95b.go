@@ -1,0 +1,537 @@
+package bench
+
+import "pathsched/internal/ir"
+
+// li, m88ksim, perl, and vortex. Table 1's characterizations: li is
+// the longest-running benchmark, a recursive interpreter with constant
+// procedure calls and tiny loops; m88ksim and perl are dispatch-loop
+// interpreters (multiway branches, with perl adding variable-length
+// string loops); vortex is a call-heavy object store doing branchy
+// structure walks.
+
+func init() {
+	register(&Benchmark{
+		Name:        "li",
+		Description: "XLISP interpreter (recursive evaluator)",
+		Category:    "SPECint95",
+		Build:       buildLi,
+		Train:       Input{Label: "train exprs", Seed: 1515, Scale: 260},
+		Test:        Input{Label: "SPEC95 ref", Seed: 1616, Scale: 430},
+	})
+	register(&Benchmark{
+		Name:        "m88k",
+		Description: "Microprocessor simulator (dispatch loop)",
+		Category:    "SPECint95",
+		Build:       buildM88k,
+		Train:       Input{Label: "dhry train", Seed: 1717, Scale: 60000},
+		Test:        Input{Label: "dhry (SPEC95 test)", Seed: 1818, Scale: 100000},
+	})
+	register(&Benchmark{
+		Name:        "perl",
+		Description: "Interpreted programming language (dispatch + strings)",
+		Category:    "SPECint95",
+		Build:       buildPerl,
+		Train:       Input{Label: "train script", Seed: 1919, Scale: 30000},
+		Test:        Input{Label: "primes (SPEC95 ref)", Seed: 2020, Scale: 50000},
+	})
+	register(&Benchmark{
+		Name:        "vortex",
+		Description: "Object-oriented database (hash store)",
+		Category:    "SPECint95",
+		Build:       buildVortex,
+		Train:       Input{Label: "train ops", Seed: 2121, Scale: 25000},
+		Test:        Input{Label: "SPEC95 test", Seed: 2222, Scale: 40000},
+	})
+}
+
+// buildLi: expression trees over cons cells (tag/car/cdr planes in
+// memory) evaluated by a recursive eval procedure with a type switch.
+// Tags: 0 number (value in car), 1 add, 2 mul, 3 if.
+func buildLi(in Input) *ir.Program {
+	const maxNodes = 4096
+	r := newRng(in.Seed)
+	tag := make([]int64, maxNodes)
+	car := make([]int64, maxNodes)
+	cdr := make([]int64, maxNodes)
+	next := int64(0)
+	alloc := func() int64 { n := next; next++; return n }
+	var genTree func(depth int64) int64
+	genTree = func(depth int64) int64 {
+		n := alloc()
+		if depth <= 0 || r.intn(3) == 0 || next > maxNodes-8 {
+			tag[n] = 0
+			car[n] = r.intn(100)
+			return n
+		}
+		switch r.intn(4) {
+		case 0, 1:
+			tag[n] = 1 // add
+			car[n] = genTree(depth - 1)
+			cdr[n] = genTree(depth - 1)
+		case 2:
+			tag[n] = 2 // mul
+			car[n] = genTree(depth - 1)
+			cdr[n] = genTree(depth - 1)
+		default:
+			tag[n] = 3 // if
+			car[n] = genTree(depth - 1)
+			pair := alloc()
+			tag[pair] = 0
+			pair2 := pair // pair node: car = then, cdr = else
+			car[pair2] = genTree(depth - 1)
+			cdr[pair2] = genTree(depth - 1)
+			cdr[n] = pair2
+		}
+		return n
+	}
+	var roots []int64
+	for next < maxNodes-64 && int64(len(roots)) < 24 {
+		roots = append(roots, genTree(6))
+	}
+
+	const tagBase, carBase, cdrBase = 0, maxNodes, 2 * maxNodes
+	bd := ir.NewBuilder("li", 3*maxNodes+64)
+	bd.Data(tagBase, tag...)
+	bd.Data(carBase, car...)
+	bd.Data(cdrBase, cdr...)
+	cold := addColdMass(bd, 61, 32, 5)
+
+	eval := bd.Proc("eval")
+	{
+		g := newGen(eval)
+		const n = ir.RegArg0
+		const t, a, b, c, pair = 8, 9, 10, 11, 12
+		g.emit(ir.Load(t, n, tagBase))
+		g.switchOn(t,
+			func() { // number
+				g.emit(ir.Load(ir.RegRet, n, carBase))
+				g.ret(ir.RegRet)
+			},
+			func() { // add
+				g.emit(ir.Load(a, n, carBase))
+				g.call(a, eval.ID(), a)
+				g.emit(ir.Load(b, n, cdrBase))
+				g.emit(ir.Mov(t, a)) // protect a across the call
+				g.call(b, eval.ID(), b)
+				g.emit(ir.Add(ir.RegRet, t, b))
+				g.ret(ir.RegRet)
+			},
+			func() { // mul
+				g.emit(ir.Load(a, n, carBase))
+				g.call(a, eval.ID(), a)
+				g.emit(ir.Load(b, n, cdrBase))
+				g.emit(ir.Mov(t, a))
+				g.call(b, eval.ID(), b)
+				g.emit(ir.Mul(ir.RegRet, t, b), ir.AndI(ir.RegRet, ir.RegRet, 0xffffff))
+				g.ret(ir.RegRet)
+			},
+			func() { // if
+				g.emit(ir.Load(a, n, carBase))
+				g.call(a, eval.ID(), a)
+				g.emit(ir.Load(pair, n, cdrBase), ir.AndI(c, a, 1))
+				g.ifElse(c, func() {
+					g.emit(ir.Load(b, pair, carBase))
+					g.call(ir.RegRet, eval.ID(), b)
+					g.ret(ir.RegRet)
+				}, func() {
+					g.emit(ir.Load(b, pair, cdrBase))
+					g.call(ir.RegRet, eval.ID(), b)
+					g.ret(ir.RegRet)
+				})
+			},
+		)
+		// Unreachable default join.
+		g.emit(ir.MovI(ir.RegRet, 0))
+		g.ret(ir.RegRet)
+	}
+
+	pb := bd.Proc("main")
+	g := newGen(pb)
+	const rep, ri, sum, root, v, evalCtr = 8, 9, 10, 11, 12, 13
+	g.emit(ir.MovI(sum, 0), ir.MovI(evalCtr, 0))
+	g.forRange(rep, 0, in.Scale, 1, func() {
+		g.forRange(ri, 0, int64(len(roots)), 1, func() {
+			g.emit(ir.AddI(evalCtr, evalCtr, 1))
+			touchColdMass(g, cold, evalCtr, 3, 32)
+			g.emit(ir.Mov(root, ri))
+			g.emit(ir.Load(v, root, rootTableBase))
+			g.call(v, eval.ID(), v)
+			g.emit(ir.Add(sum, sum, v), ir.AndI(sum, sum, 0xffffff))
+		})
+	})
+	g.emit(ir.Emit(sum))
+	g.ret(sum)
+	prog := bd.Program()
+	// Root table lives just past the cdr plane.
+	prog.MemSize = rootTableBase + int64(len(roots)) + 8
+	prog.Data = append(prog.Data, ir.DataSeg{Addr: rootTableBase, Values: roots})
+	if err := ir.Verify(prog); err != nil {
+		panic("bench li: " + err.Error())
+	}
+	return prog
+}
+
+const rootTableBase = 3 * 4096
+
+// buildM88k: a fetch-decode-execute loop over a synthetic instruction
+// stream. The dominant control structure is one hot multiway dispatch
+// whose case mix (and hence path behaviour) follows the simulated
+// program.
+func buildM88k(in Input) *ir.Program {
+	const codeLen = 1024 // instructions; stream wraps around
+	const nregs = 16
+	r := newRng(in.Seed)
+	// Triples (op, a, b) at [0, 3*codeLen); simulated registers at
+	// regBase; simulated data memory at datBase.
+	ops := make([]int64, 3*codeLen)
+	for i := 0; i < codeLen; i++ {
+		op := int64(0)
+		switch v := r.intn(100); {
+		case v < 22:
+			op = 1 // add
+		case v < 38:
+			op = 2 // sub
+		case v < 48:
+			op = 3 // and
+		case v < 58:
+			op = 4 // xor
+		case v < 72:
+			op = 5 // li
+		case v < 82:
+			op = 6 // load
+		case v < 90:
+			op = 7 // store
+		case v < 96:
+			op = 8 // brz
+		default:
+			op = 9 // nop
+		}
+		ops[3*i] = op
+		ops[3*i+1] = r.intn(nregs)
+		ops[3*i+2] = r.intn(nregs)
+		if op == 5 {
+			ops[3*i+2] = r.intn(1000) // immediate
+		}
+		if op == 8 {
+			ops[3*i+2] = r.intn(12) + 2 // forward skip distance
+		}
+	}
+	regBase := int64(3 * codeLen)
+	datBase := regBase + nregs
+	const datLen = 512
+	bd := ir.NewBuilder("m88k", datBase+datLen+16)
+	bd.Data(0, ops...)
+	cold := addColdMass(bd, 67, 64, 8)
+
+	pb := bd.Proc("main")
+	g := newGen(pb)
+	const pc, steps, op, a, b, va, vb, t, c = 8, 9, 10, 11, 12, 13, 14, 15, 16
+	g.emit(ir.MovI(pc, 0), ir.MovI(steps, 0))
+	g.while(func() ir.Reg {
+		g.emit(ir.CmpLTI(scratch, steps, in.Scale))
+		return scratch
+	}, func() {
+		touchColdMass(g, cold, steps, 5, 64)
+		g.emit(
+			ir.MulI(t, pc, 3),
+			ir.Load(op, t, 0),
+			ir.Load(a, t, 1),
+			ir.Load(b, t, 2),
+			ir.AddI(steps, steps, 1),
+			ir.AddI(pc, pc, 1),
+		)
+		// Wrap the program counter.
+		g.emit(ir.CmpGEI(c, pc, codeLen))
+		g.ifElse(c, func() { g.emit(ir.MovI(pc, 0)) }, nil)
+		g.switchOn(op,
+			func() { /* 0: halt — treated as nop; steps cap ends the run */ },
+			func() { // 1: add
+				g.emit(ir.Load(va, a, regBase), ir.Load(vb, b, regBase),
+					ir.Add(va, va, vb), ir.Store(a, regBase, va))
+			},
+			func() { // 2: sub
+				g.emit(ir.Load(va, a, regBase), ir.Load(vb, b, regBase),
+					ir.Sub(va, va, vb), ir.Store(a, regBase, va))
+			},
+			func() { // 3: and
+				g.emit(ir.Load(va, a, regBase), ir.Load(vb, b, regBase),
+					ir.And(va, va, vb), ir.Store(a, regBase, va))
+			},
+			func() { // 4: xor
+				g.emit(ir.Load(va, a, regBase), ir.Load(vb, b, regBase),
+					ir.Xor(va, va, vb), ir.Store(a, regBase, va))
+			},
+			func() { // 5: li
+				g.emit(ir.Store(a, regBase, b))
+			},
+			func() { // 6: load
+				g.emit(ir.Load(vb, b, regBase), ir.AndI(vb, vb, datLen-1),
+					ir.AddI(vb, vb, datBase), ir.Load(va, vb, 0),
+					ir.Store(a, regBase, va))
+			},
+			func() { // 7: store
+				g.emit(ir.Load(vb, b, regBase), ir.AndI(vb, vb, datLen-1),
+					ir.AddI(vb, vb, datBase), ir.Load(va, a, regBase),
+					ir.Store(vb, 0, va))
+			},
+			func() { // 8: brz — skip forward if reg a is zero
+				g.emit(ir.Load(va, a, regBase), ir.CmpEQI(c, va, 0))
+				g.ifElse(c, func() {
+					g.emit(ir.Add(pc, pc, b))
+					g.emit(ir.CmpGEI(c, pc, codeLen))
+					g.ifElse(c, func() { g.emit(ir.AddI(pc, pc, -codeLen)) }, nil)
+				}, nil)
+			},
+			func() { /* 9+: nop / default */ },
+		)
+	})
+	// Emit a checksum of the simulated register file so transformations
+	// are checked against the simulated machine's final state.
+	const sum, ri2 = 17, 18
+	g.emit(ir.MovI(sum, 0))
+	g.forRange(ri2, 0, nregs, 1, func() {
+		g.emit(ir.Load(t, ri2, regBase), ir.Add(sum, sum, t), ir.AndI(sum, sum, 0xffffff))
+	})
+	g.emit(ir.Emit(sum), ir.Emit(steps))
+	g.ret(steps)
+	return bd.Finish()
+}
+
+// buildPerl: an opcode dispatch loop whose cases include
+// variable-length string work (hashing and comparing byte runs), so
+// the dispatch's dominant paths thread through data-dependent inner
+// loops.
+func buildPerl(in Input) *ir.Program {
+	const codeLen = 512
+	const heapLen = 2048
+	r := newRng(in.Seed)
+	code := make([]int64, 2*codeLen) // (op, arg) pairs
+	for i := 0; i < codeLen; i++ {
+		v := r.intn(100)
+		switch {
+		case v < 35:
+			code[2*i] = 0 // hash string
+		case v < 55:
+			code[2*i] = 1 // compare strings
+		case v < 75:
+			code[2*i] = 2 // arith
+		case v < 90:
+			code[2*i] = 3 // index
+		default:
+			code[2*i] = 4 // misc
+		}
+		code[2*i+1] = r.intn(heapLen - 64)
+	}
+	heap := make([]int64, heapLen)
+	for i := range heap {
+		heap[i] = 97 + r.intn(26)
+	}
+	heapBase := int64(2 * codeLen)
+	bd := ir.NewBuilder("perl", heapBase+heapLen+16)
+	bd.Data(0, code...)
+	bd.Data(heapBase, heap...)
+	cold := addColdMass(bd, 71, 64, 8)
+
+	// hash(base, len) -> djb2-style rolling hash over the heap.
+	hash := bd.Proc("hash")
+	{
+		hg := newGen(hash)
+		const base, ln = ir.RegArg0, ir.RegArg0 + 1
+		const i, h, ch, t = 8, 9, 10, 11
+		hg.emit(ir.MovI(h, 5381))
+		hg.while(func() ir.Reg {
+			hg.emit(ir.CmpLT(scratch, i, ln))
+			return scratch
+		}, func() {
+			hg.emit(
+				ir.Add(t, base, i),
+				ir.Load(ch, t, heapBase),
+				ir.MulI(h, h, 33),
+				ir.Add(h, h, ch),
+				ir.AndI(h, h, 0xffffff),
+				ir.AddI(i, i, 1),
+			)
+		})
+		hg.ret(h)
+	}
+
+	pb := bd.Proc("main")
+	g := newGen(pb)
+	const ip, steps, op, arg, acc, t, c, ln, i2, ch = 8, 9, 10, 11, 12, 13, 14, 15, 16, 17
+	g.emit(ir.MovI(ip, 0), ir.MovI(steps, 0), ir.MovI(acc, 0))
+	g.while(func() ir.Reg {
+		g.emit(ir.CmpLTI(scratch, steps, in.Scale))
+		return scratch
+	}, func() {
+		touchColdMass(g, cold, steps, 4, 64)
+		g.emit(
+			ir.MulI(t, ip, 2),
+			ir.Load(op, t, 0),
+			ir.Load(arg, t, 1),
+			ir.AddI(steps, steps, 1),
+			ir.AddI(ip, ip, 1),
+		)
+		g.emit(ir.CmpGEI(c, ip, codeLen))
+		g.ifElse(c, func() { g.emit(ir.MovI(ip, 0)) }, nil)
+		g.switchOn(op,
+			func() { // hash a short string: data-dependent length 3..10
+				g.emit(
+					ir.AndI(ln, arg, 7),
+					ir.AddI(ln, ln, 3),
+				)
+				g.call(t, hash.ID(), arg, ln)
+				g.emit(ir.Add(acc, acc, t), ir.AndI(acc, acc, 0xffffff))
+			},
+			func() { // compare two runs until mismatch
+				g.emit(ir.MovI(i2, 0), ir.MovI(c, 1))
+				g.while(func() ir.Reg {
+					g.emit(ir.CmpLTI(scratch, i2, 12))
+					g.emit(ir.And(scratch, scratch, c))
+					return scratch
+				}, func() {
+					g.emit(
+						ir.Add(t, arg, i2),
+						ir.Load(ch, t, heapBase),
+						ir.AddI(t, t, 16),
+						ir.Load(ln, t, heapBase),
+						ir.CmpEQ(c, ch, ln),
+						ir.AddI(i2, i2, 1),
+					)
+				})
+				g.emit(ir.Add(acc, acc, i2))
+			},
+			func() { // arith
+				g.emit(ir.MulI(t, arg, 3), ir.Xor(acc, acc, t), ir.AndI(acc, acc, 0xffffff))
+			},
+			func() { // index: single heap probe
+				g.emit(ir.Load(t, arg, heapBase), ir.Add(acc, acc, t))
+			},
+			func() { // misc/default
+				g.emit(ir.AddI(acc, acc, 1))
+			},
+		)
+	})
+	g.emit(ir.Emit(acc))
+	g.ret(acc)
+	return bd.Finish()
+}
+
+// buildVortex: a chained hash store. lookup and insert are separate
+// procedures; the driver replays a seeded op stream that is mostly
+// hits (lookups of present keys) with a steady trickle of inserts and
+// misses — call-heavy, short data-dependent chain walks.
+func buildVortex(in Input) *ir.Program {
+	const buckets = 256
+	const maxRecs = 4096
+	// Memory: bucketHead [0,256), rec next/key/val planes, op stream.
+	const nextBase = buckets
+	const keyBase = nextBase + maxRecs
+	const valBase = keyBase + maxRecs
+	const ctrlBase = valBase + maxRecs // [0]=nextFree
+	opsBase := int64(ctrlBase + 8)
+
+	r := newRng(in.Seed)
+	nops := in.Scale
+	ops := make([]int64, 2*nops) // (kind, key): kind 0 lookup, 1 insert
+	liveKeys := []int64{}
+	for i := int64(0); i < nops; i++ {
+		switch v := r.intn(100); {
+		case v < 70 && len(liveKeys) > 0: // lookup existing
+			ops[2*i] = 0
+			ops[2*i+1] = liveKeys[r.intn(int64(len(liveKeys)))]
+		case v < 85: // insert new
+			ops[2*i] = 1
+			k := r.intn(1 << 20)
+			ops[2*i+1] = k
+			if len(liveKeys) < 3000 {
+				liveKeys = append(liveKeys, k)
+			}
+		default: // lookup probably-missing
+			ops[2*i] = 0
+			ops[2*i+1] = r.intn(1 << 20)
+		}
+	}
+	bd := ir.NewBuilder("vortex", opsBase+2*nops+16)
+	bd.Data(opsBase, ops...)
+	cold := addColdMass(bd, 73, 64, 8)
+	// bucket heads start at 0 = empty (record ids start at 1).
+
+	// lookup(key) -> val+1 or 0.
+	lookup := bd.Proc("lookup")
+	{
+		lg := newGen(lookup)
+		const key = ir.RegArg0
+		const h, cur, k, c = 8, 9, 10, 11
+		lg.emit(ir.AndI(h, key, buckets-1), ir.Load(cur, h, 0))
+		lg.while(func() ir.Reg {
+			lg.emit(ir.CmpNEI(scratch, cur, 0))
+			return scratch
+		}, func() {
+			lg.emit(ir.Load(k, cur, keyBase), ir.CmpEQ(c, k, key))
+			lg.ifElse(c, func() {
+				lg.emit(ir.Load(ir.RegRet, cur, valBase), ir.AddI(ir.RegRet, ir.RegRet, 1))
+				lg.ret(ir.RegRet)
+			}, nil)
+			lg.emit(ir.Load(cur, cur, nextBase))
+		})
+		lg.emit(ir.MovI(ir.RegRet, 0))
+		lg.ret(ir.RegRet)
+	}
+
+	// insert(key, val) -> record id (or 0 when full).
+	insert := bd.Proc("insert")
+	{
+		ig := newGen(insert)
+		const key, val = ir.RegArg0, ir.RegArg0 + 1
+		const h, id, c, t = 8, 9, 10, 11
+		ig.emit(ir.MovI(t, ctrlBase), ir.Load(id, t, 0))
+		ig.emit(ir.CmpGEI(c, id, maxRecs-1))
+		ig.ifElse(c, func() {
+			ig.emit(ir.MovI(ir.RegRet, 0))
+			ig.ret(ir.RegRet)
+		}, nil)
+		ig.emit(
+			ir.AddI(id, id, 1),
+			ir.MovI(t, ctrlBase),
+			ir.Store(t, 0, id),
+			ir.AndI(h, key, buckets-1),
+			// push front: next[id] = head[h]; head[h] = id
+			ir.Load(t, h, 0),
+			ir.Store(id, nextBase, t),
+			ir.Store(h, 0, id),
+			ir.Store(id, keyBase, key),
+			ir.Store(id, valBase, val),
+		)
+		ig.ret(id)
+	}
+
+	pb := bd.Proc("main")
+	g := newGen(pb)
+	const i, kind, key, res, hits, t = 8, 9, 10, 11, 12, 13
+	g.emit(ir.MovI(hits, 0))
+	g.forRange(i, 0, nops, 1, func() {
+		touchColdMass(g, cold, i, 4, 64)
+		g.emit(
+			ir.MulI(t, i, 2),
+			ir.AddI(t, t, opsBase),
+			ir.Load(kind, t, 0),
+			ir.Load(key, t, 1),
+			ir.CmpEQI(scratch, kind, 0),
+		)
+		g.emit(ir.Mov(14, scratch)) // preserve across helper scratch use
+		g.ifElse(14, func() {
+			g.call(res, lookup.ID(), key)
+			g.emit(ir.CmpNEI(scratch, res, 0))
+			g.emit(ir.Mov(15, scratch))
+			g.ifElse(15, func() {
+				g.emit(ir.AddI(hits, hits, 1))
+			}, nil)
+		}, func() {
+			g.emit(ir.AndI(res, key, 0xfff))
+			g.call(res, insert.ID(), key, res)
+		})
+	})
+	g.emit(ir.Emit(hits))
+	g.ret(hits)
+	return bd.Finish()
+}

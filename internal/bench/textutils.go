@@ -1,0 +1,171 @@
+package bench
+
+import "pathsched/internal/ir"
+
+// wc and compress: the two byte-stream utilities of Table 1. Their
+// control flow is a single dominant loop whose branches follow the
+// *data*; the generators synthesize inputs with the same statistical
+// texture (English-like word/space structure for wc, compressible
+// repetitive data for compress).
+
+func init() {
+	register(&Benchmark{
+		Name:        "wc",
+		Description: "UNIX word count program",
+		Category:    "micro",
+		Build:       buildWc,
+		Train:       Input{Label: "train text", Seed: 101, Scale: 20000},
+		Test:        Input{Label: "PostScript conference paper", Seed: 202, Scale: 30000},
+	})
+	register(&Benchmark{
+		Name:        "com",
+		Description: "Lempel/Ziv file compression",
+		Category:    "SPECint92",
+		Build:       buildCompress,
+		Train:       Input{Label: "train data", Seed: 303, Scale: 40000},
+		Test:        Input{Label: "MPEG movie data", Seed: 404, Scale: 70000},
+	})
+}
+
+// genText synthesizes length bytes of word/whitespace text: word
+// characters with spaces roughly every 2–9 characters and newlines
+// roughly every 8 words.
+func genText(r *rng, length int64) []int64 {
+	text := make([]int64, length)
+	wordLeft := r.intn(8) + 2
+	wordsOnLine := int64(0)
+	for i := range text {
+		switch {
+		case wordLeft > 0:
+			text[i] = 97 + r.intn(26) // letter
+			wordLeft--
+		case wordsOnLine >= 8:
+			text[i] = 10 // newline
+			wordsOnLine = 0
+			wordLeft = r.intn(8) + 2
+		default:
+			text[i] = 32 // space
+			wordsOnLine++
+			wordLeft = r.intn(8) + 2
+		}
+	}
+	return text
+}
+
+// buildWc scans the text counting lines, words, and characters with
+// the classic in-word state machine. The "inside a word" branch is
+// strongly biased but its flips are path-predictable (a space is
+// usually followed by a letter).
+func buildWc(in Input) *ir.Program {
+	r := newRng(in.Seed)
+	text := genText(r, in.Scale)
+	bd := ir.NewBuilder("wc", in.Scale+16)
+	bd.Data(0, text...)
+	cold := addColdMass(bd, 31, 16, 4)
+	pb := bd.Proc("main")
+	g := newGen(pb)
+	const i, ch, lines, words, chars, inword, c = 1, 2, 3, 4, 5, 6, 7
+	g.emit(ir.MovI(lines, 0), ir.MovI(words, 0), ir.MovI(chars, 0), ir.MovI(inword, 0))
+	g.forRange(i, 0, in.Scale, 1, func() {
+		touchColdMass(g, cold, i, 5, 16)
+		g.emit(ir.Load(ch, i, 0), ir.AddI(chars, chars, 1))
+		g.emit(ir.CmpEQI(c, ch, 10))
+		g.ifElse(c, func() {
+			g.emit(ir.AddI(lines, lines, 1), ir.MovI(inword, 0))
+		}, func() {
+			g.emit(ir.CmpEQI(c, ch, 32))
+			g.ifElse(c, func() {
+				g.emit(ir.MovI(inword, 0))
+			}, func() {
+				g.emit(ir.CmpEQI(c, inword, 0))
+				g.ifElse(c, func() {
+					g.emit(ir.AddI(words, words, 1), ir.MovI(inword, 1))
+				}, nil)
+			})
+		})
+	})
+	g.emit(ir.Emit(lines), ir.Emit(words), ir.Emit(chars))
+	g.ret(chars)
+	return bd.Finish()
+}
+
+// genCompressible produces a byte stream with heavy repetition: runs
+// drawn from a tiny alphabet with occasional literals, so the hash
+// probe in the compressor hits most of the time — compress's dominant
+// single-path loop (§4 notes com is "dominated by few loops").
+func genCompressible(r *rng, length int64) []int64 {
+	data := make([]int64, length)
+	cur := r.intn(6)
+	runLeft := r.intn(24) + 4
+	for i := range data {
+		if runLeft == 0 {
+			if r.intn(8) == 0 {
+				data[i] = r.intn(256) // rare literal
+			}
+			cur = r.intn(6)
+			runLeft = r.intn(24) + 4
+		}
+		data[i] = cur*37 + 11
+		runLeft--
+	}
+	return data
+}
+
+// buildCompress models the LZW table probe loop: hash the (prev, cur)
+// pair, probe the chain table; a hit extends the current phrase (the
+// hot path), a miss installs a new code.
+func buildCompress(in Input) *ir.Program {
+	const tableSize = 4096
+	r := newRng(in.Seed)
+	data := genCompressible(r, in.Scale)
+	// Memory: [0, tableSize) keys, [tableSize, 2*tableSize) codes,
+	// input at 2*tableSize.
+	inputBase := int64(2 * tableSize)
+	bd := ir.NewBuilder("com", inputBase+in.Scale+16)
+	bd.Data(inputBase, data...)
+	cold := addColdMass(bd, 37, 16, 4)
+	pb := bd.Proc("main")
+	g := newGen(pb)
+	const i, prev, cur, h, key, probe, hits, miss, code, c, t = 1, 2, 3, 4, 5, 6, 8, 9, 10, 11, 12
+	g.emit(
+		ir.MovI(prev, 0), ir.MovI(hits, 0), ir.MovI(miss, 0), ir.MovI(code, 256),
+	)
+	g.forRange(i, 0, in.Scale, 1, func() {
+		touchColdMass(g, cold, i, 6, 16)
+		g.emit(
+			ir.AddI(t, i, inputBase),
+			ir.Load(cur, t, 0),
+			// h = ((prev << 4) ^ cur) & (tableSize-1)
+			ir.ShlI(h, prev, 4),
+			ir.Xor(h, h, cur),
+			ir.AndI(h, h, tableSize-1),
+			// key = prev*256 + cur + 1 (never 0, the empty marker)
+			ir.MulI(key, prev, 256),
+			ir.Add(key, key, cur),
+			ir.AddI(key, key, 1),
+			ir.Load(probe, h, 0),
+			ir.CmpEQ(c, probe, key),
+		)
+		g.ifElse(c, func() {
+			// Hit: extend the phrase (hot path).
+			g.emit(
+				ir.AddI(hits, hits, 1),
+				ir.Load(prev, h, tableSize), // prev = stored code
+				ir.AndI(prev, prev, 255),
+			)
+		}, func() {
+			// Miss: install new code, restart phrase.
+			g.emit(
+				ir.Store(h, 0, key),
+				ir.Store(h, tableSize, code),
+				ir.AddI(code, code, 1),
+				ir.AndI(code, code, 4095),
+				ir.AddI(miss, miss, 1),
+				ir.Mov(prev, cur),
+			)
+		})
+	})
+	g.emit(ir.Emit(hits), ir.Emit(miss), ir.Emit(code))
+	g.ret(hits)
+	return bd.Finish()
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"testing"
+
+	"pathsched/internal/ir"
+)
+
+// Tests for the formation thresholds ("we apply similar thresholds to
+// both scheduling approaches", §2.3).
+
+func TestMinExecFreqGatesEnlargement(t *testing.T) {
+	prog := altLoop(400)
+	// With the gate above every block's frequency, nothing enlarges.
+	res := form(t, prog, PathBased, func(c *Config) { c.MinExecFreq = 1 << 40 })
+	if res.Stats.EnlargeCopies != 0 {
+		t.Fatalf("cold gate ignored: %d copies", res.Stats.EnlargeCopies)
+	}
+	resE := form(t, prog, EdgeBased, func(c *Config) { c.MinExecFreq = 1 << 40 })
+	if resE.Stats.Unrolled+resE.Stats.Peeled+resE.Stats.Expanded != 0 {
+		t.Fatalf("cold gate ignored by edge enlarger: %+v", resE.Stats)
+	}
+}
+
+func TestCompletionMinGatesPathEnlargement(t *testing.T) {
+	prog := altLoop(400)
+	// The hot loop trace completes 75% of the time; a 0.99 gate must
+	// block its enlargement while a 0.5 gate admits it.
+	strict := form(t, prog, PathBased, func(c *Config) { c.CompletionMin = 0.99 })
+	loose := form(t, prog, PathBased, func(c *Config) { c.CompletionMin = 0.5 })
+	if strict.Stats.EnlargeCopies >= loose.Stats.EnlargeCopies {
+		t.Fatalf("completion gate had no effect: strict %d vs loose %d copies",
+			strict.Stats.EnlargeCopies, loose.Stats.EnlargeCopies)
+	}
+	mustBehaveSame(t, prog, strict.Prog)
+	mustBehaveSame(t, prog, loose.Prog)
+}
+
+func TestMaxSBInstrsCapsEnlargement(t *testing.T) {
+	prog := altLoop(4000)
+	small := form(t, prog, PathBased, func(c *Config) { c.MaxSBInstrs = 24 })
+	big := form(t, prog, PathBased, func(c *Config) { c.MaxSBInstrs = 512 })
+	maxInstrs := func(r *Result) int {
+		max := 0
+		for _, sb := range r.Superblocks[0] {
+			n := 0
+			for _, b := range sb.Blocks {
+				n += len(r.Prog.Proc(0).Block(b).Instrs)
+			}
+			if n > max {
+				max = n
+			}
+		}
+		return max
+	}
+	if m := maxInstrs(small); m > 24+12 { // one block of slack
+		t.Fatalf("size cap ignored: superblock of %d instrs", m)
+	}
+	if maxInstrs(big) <= maxInstrs(small) {
+		t.Fatal("raising the cap must allow bigger superblocks")
+	}
+	mustBehaveSame(t, prog, small.Prog)
+
+	// Edge-based unrolling obeys the same cap.
+	smallE := form(t, prog, EdgeBased, func(c *Config) { c.MaxSBInstrs = 24; c.UnrollFactor = 16 })
+	if m := maxInstrs(smallE); m > 24+12 {
+		t.Fatalf("unroll ignored size cap: %d instrs", m)
+	}
+	mustBehaveSame(t, prog, smallE.Prog)
+}
+
+func TestMaxLoopHeadsBoundsUnrolling(t *testing.T) {
+	prog := altLoop(4000)
+	count := func(maxHeads int) int {
+		res := form(t, prog, PathBased, func(c *Config) { c.MaxLoopHeads = maxHeads })
+		mustBehaveSame(t, prog, res.Prog)
+		return res.Stats.EnlargeCopies
+	}
+	c0, c2, c8 := count(0), count(2), count(8)
+	if !(c0 < c2 && c2 < c8) {
+		t.Fatalf("loop-head bound not monotone: %d, %d, %d", c0, c2, c8)
+	}
+}
+
+func TestExpandProbGatesBTE(t *testing.T) {
+	// A non-loop superblock whose final branch is ~60/40 should expand
+	// under a 0.5 gate but not under a 0.9 gate. The CFG is shaped so
+	// mutual-most-likely selection terminates the hot trace exactly at
+	// that branch: b1's most likely predecessor is x, not a, so the
+	// [oh, a] trace cannot absorb b1.
+	bd := ir.NewBuilder("bte", 64)
+	pb := bd.Proc("main")
+	oh, a, x, b1, b2, latch, exit :=
+		pb.NewBlock(), pb.NewBlock(), pb.NewBlock(), pb.NewBlock(), pb.NewBlock(), pb.NewBlock(), pb.NewBlock()
+	const i, s, c, tmp = 1, 2, 3, 4
+	oh.Add(ir.CmpLTI(c, i, 500))
+	oh.Br(c, a.ID(), exit.ID())
+	// oh's hot successor splits ~56/44 between a-path and x-path via a
+	// second branch inside a.
+	a.Add(ir.MulI(tmp, i, 7), ir.AndI(tmp, tmp, 15), ir.CmpLEI(c, tmp, 8))
+	a.Br(c, b1.ID(), b2.ID()) // the gated 56/44 branch
+	x.Add(ir.AddI(s, s, 5))
+	x.Jmp(b1.ID())
+	b1.Add(ir.AddI(s, s, 1))
+	b1.Jmp(latch.ID())
+	b2.Add(ir.AddI(s, s, 2))
+	b2.Jmp(latch.ID())
+	latch.Add(ir.AddI(i, i, 1))
+	latch.Jmp(oh.ID())
+	exit.Add(ir.Emit(s))
+	exit.Ret(s)
+	// Give b1 its hotter second predecessor by routing part of oh's
+	// flow through x: rewrite oh's taken edge into a pre-split.
+	pre := pb.NewBlock()
+	pre.Add(ir.AndI(tmp, i, 7), ir.CmpLEI(c, tmp, 2))
+	pre.Br(c, x.ID(), a.ID()) // 3/8 to x, 5/8 to a
+	ir.RedirectEdges(func() *ir.Block { return bd.Program().Proc(0).Block(oh.ID()) }(), a.ID(), pre.ID())
+	prog := bd.Finish()
+
+	strict := form(t, prog, EdgeBased, func(c *Config) { c.ExpandProb = 0.9; c.UnrollFactor = 1 })
+	loose := form(t, prog, EdgeBased, func(c *Config) { c.ExpandProb = 0.5; c.UnrollFactor = 1 })
+	if strict.Stats.Expanded >= loose.Stats.Expanded {
+		t.Fatalf("expand gate had no effect: strict %d vs loose %d",
+			strict.Stats.Expanded, loose.Stats.Expanded)
+	}
+	mustBehaveSame(t, prog, strict.Prog)
+	mustBehaveSame(t, prog, loose.Prog)
+}

@@ -1,0 +1,170 @@
+package core
+
+import "pathsched/internal/ir"
+
+// Trace selection partitions a procedure's blocks into traces. Both
+// methods take seeds in decreasing block-frequency order; they differ
+// in how a trace grows:
+//
+//   - Edge-based uses the mutual-most-likely heuristic of the
+//     MultiFlow compiler (§2.1): B extends the trace after A only when
+//     B is A's most likely successor *and* A is B's most likely
+//     predecessor. Growth proceeds both downward and upward.
+//   - Path-based (Figure 2) extends the trace by the
+//     most-likely-path-successor: the CFG successor s maximizing the
+//     exact frequency f(t·s) of the whole extended trace. Growth is
+//     downward only; the paper's analysis predicts upward growth would
+//     not noticeably help (§2.2 footnote).
+//
+// Both stop at back edges and at blocks already claimed by a trace, so
+// traces never contain loops and the result is a partition. Blocks the
+// training run never executed become singleton traces.
+func (f *former) selectTraces() {
+	switch f.cfg.Method {
+	case PathBased:
+		f.selectTracesPath()
+	default:
+		f.selectTracesEdge()
+	}
+	// Sweep up never-executed (or unreachable) blocks as singletons.
+	taken := f.takenSet()
+	for _, b := range f.proc.Blocks {
+		if !taken[b.ID] {
+			f.traces = append(f.traces, []ir.BlockID{b.ID})
+		}
+	}
+}
+
+func (f *former) takenSet() map[ir.BlockID]bool {
+	taken := map[ir.BlockID]bool{}
+	for _, t := range f.traces {
+		for _, b := range t {
+			taken[b] = true
+		}
+	}
+	return taken
+}
+
+func (f *former) selectTracesEdge() {
+	e := f.cfg.Edge
+	pid := f.proc.ID
+	entry := f.proc.Entry().ID
+	taken := map[ir.BlockID]bool{}
+	for _, seed := range e.BlocksByFreq(pid) {
+		if taken[seed] {
+			continue
+		}
+		trace := []ir.BlockID{seed}
+		taken[seed] = true
+
+		// Grow downward. The procedure entry may never become a trace
+		// interior: activations begin there, which is an entry no CFG
+		// edge (and hence no tail duplication) can see.
+		for {
+			last := trace[len(trace)-1]
+			s, fq := e.MostLikelySucc(pid, last)
+			if s == ir.NoBlock || fq == 0 || taken[s] || s == entry {
+				break
+			}
+			if f.cfgGraph.IsBackEdge(last, s) {
+				break
+			}
+			if p, _ := e.MostLikelyPred(pid, s); p != last {
+				break // not mutual
+			}
+			trace = append(trace, s)
+			taken[s] = true
+		}
+		// Grow upward from the seed (never past the procedure entry).
+		for trace[0] != entry {
+			head := trace[0]
+			p, fq := e.MostLikelyPred(pid, head)
+			if p == ir.NoBlock || fq == 0 || taken[p] {
+				break
+			}
+			if f.cfgGraph.IsBackEdge(p, head) {
+				break
+			}
+			if s, _ := e.MostLikelySucc(pid, p); s != head {
+				break // not mutual
+			}
+			trace = append([]ir.BlockID{p}, trace...)
+			taken[p] = true
+		}
+		f.traces = append(f.traces, trace)
+	}
+}
+
+func (f *former) selectTracesPath() {
+	pf := f.cfg.Path
+	pid := f.proc.ID
+	entry := f.proc.Entry().ID
+	taken := map[ir.BlockID]bool{}
+	for _, seed := range pf.BlocksByFreq(pid) {
+		if taken[seed] {
+			continue
+		}
+		trace := []ir.BlockID{seed}
+		taken[seed] = true
+		for {
+			last := trace[len(trace)-1]
+			q := pf.TrimToDepth(pid, trace)
+			s, fq := pf.MostLikelyPathSuccessor(pid, q)
+			if s == ir.NoBlock || fq == 0 || taken[s] || s == entry {
+				break
+			}
+			if !f.isCFGSucc(last, s) || f.cfgGraph.IsBackEdge(last, s) {
+				break
+			}
+			trace = append(trace, s)
+			taken[s] = true
+		}
+		if f.cfg.GrowUpward {
+			trace = f.growUpwardPath(trace, taken)
+		}
+		f.traces = append(f.traces, trace)
+	}
+}
+
+// growUpwardPath extends a path-selected trace at its head: among the
+// CFG predecessors p of the current head, pick the one maximizing the
+// exact frequency f(p·t′) of the extended trace (t′ a depth-bounded
+// prefix of the trace), subject to the usual back-edge, ownership, and
+// entry-block rules. This is the capability the paper's footnote 2
+// describes but does not implement.
+func (f *former) growUpwardPath(trace []ir.BlockID, taken map[ir.BlockID]bool) []ir.BlockID {
+	pf := f.cfg.Path
+	pid := f.proc.ID
+	entry := f.proc.Entry().ID
+	for trace[0] != entry {
+		head := trace[0]
+		// Bound the query: one predecessor plus a prefix of the trace
+		// must stay within the profile's exact range. Reuse the suffix
+		// trimmer on the reversed problem by limiting the prefix length
+		// conservatively to depth-1 blocks.
+		prefLen := len(trace)
+		if max := pf.Depth() - 1; prefLen > max {
+			prefLen = max
+		}
+		var best ir.BlockID = ir.NoBlock
+		var bestF int64
+		for _, p := range f.cfgGraph.Preds(head) {
+			if taken[p] {
+				continue
+			}
+			if f.cfgGraph.IsBackEdge(p, head) {
+				continue
+			}
+			seq := append([]ir.BlockID{p}, trace[:prefLen]...)
+			if fq := pf.Freq(pid, seq); fq > bestF || (fq == bestF && fq > 0 && (best == ir.NoBlock || p < best)) {
+				best, bestF = p, fq
+			}
+		}
+		if best == ir.NoBlock || bestF == 0 {
+			return trace
+		}
+		trace = append([]ir.BlockID{best}, trace...)
+		taken[best] = true
+	}
+	return trace
+}

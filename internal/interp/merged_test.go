@@ -1,0 +1,117 @@
+package interp
+
+import (
+	"testing"
+
+	"pathsched/internal/ir"
+)
+
+// These tests pin down the merged-superblock execution semantics the
+// compactor relies on: mid-block calls and switches with NoBlock
+// continuation slots fall through to the next instruction.
+
+func TestMidBlockCallFallsThrough(t *testing.T) {
+	bd := ir.NewBuilder("midcall", 8)
+	leaf := bd.Proc("leaf")
+	lb := leaf.NewBlock()
+	lb.Add(ir.AddI(0, 1, 100))
+	lb.Ret(0)
+	pb := bd.Proc("main")
+	b := pb.NewBlock()
+	call := ir.Call(2, leaf.ID(), ir.NoBlock, 1) // mid-block: continues
+	b.Add(
+		ir.MovI(1, 5),
+		call,
+		ir.AddI(3, 2, 1), // runs after the call returns, same block
+		ir.Emit(3),
+	)
+	b.Ret(3)
+	bd.SetMain(pb.ID())
+	prog := bd.Program()
+	if err := ir.Verify(prog); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(prog, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != 106 {
+		t.Fatalf("ret = %d, want 106", res.Ret)
+	}
+}
+
+func TestMidBlockSwitchFallThroughSlot(t *testing.T) {
+	// switch with a NoBlock slot: selecting it continues in-block;
+	// selecting a real slot exits.
+	mk := func(idx int64) *ir.Program {
+		bd := ir.NewBuilder("midsw", 8)
+		pb := bd.Proc("main")
+		b, out := pb.NewBlock(), pb.NewBlock()
+		sw := ir.Switch(1, out.ID(), ir.NoBlock, out.ID())
+		b.Add(ir.MovI(1, idx), sw, ir.MovI(2, 777), ir.Emit(2))
+		b.Ret(2)
+		out.Add(ir.MovI(2, 111))
+		out.Ret(2)
+		bd.SetMain(pb.ID())
+		prog := bd.Program()
+		if err := ir.Verify(prog); err != nil {
+			t.Fatal(err)
+		}
+		return prog
+	}
+	if res, _ := Run(mk(1), Config{}); res.Ret != 777 {
+		t.Fatalf("fall-through slot: ret = %d, want 777", res.Ret)
+	}
+	if res, _ := Run(mk(0), Config{}); res.Ret != 111 {
+		t.Fatalf("real slot 0: ret = %d, want 111", res.Ret)
+	}
+	if res, _ := Run(mk(9), Config{}); res.Ret != 111 {
+		t.Fatalf("default slot: ret = %d, want 111", res.Ret)
+	}
+}
+
+func TestMidBlockBrTakenSlotFallThrough(t *testing.T) {
+	// A br whose TAKEN slot is NoBlock: condition true continues
+	// in-block, condition false exits.
+	mk := func(cond int64) *ir.Program {
+		bd := ir.NewBuilder("midbr", 8)
+		pb := bd.Proc("main")
+		b, out := pb.NewBlock(), pb.NewBlock()
+		br := ir.Br(1, ir.NoBlock, out.ID())
+		b.Add(ir.MovI(1, cond), br, ir.MovI(2, 50), ir.Emit(2))
+		b.Ret(2)
+		out.Add(ir.MovI(2, 60))
+		out.Ret(2)
+		bd.SetMain(pb.ID())
+		prog := bd.Program()
+		if err := ir.Verify(prog); err != nil {
+			t.Fatal(err)
+		}
+		return prog
+	}
+	if res, _ := Run(mk(1), Config{}); res.Ret != 50 {
+		t.Fatalf("true -> fall through: ret = %d", res.Ret)
+	}
+	if res, _ := Run(mk(0), Config{}); res.Ret != 60 {
+		t.Fatalf("false -> exit: ret = %d", res.Ret)
+	}
+}
+
+func TestExitUnitsDefaultsToSBSize(t *testing.T) {
+	// Without ExitUnits, every departure counts the full size.
+	bd := ir.NewBuilder("units", 8)
+	pb := bd.Proc("main")
+	b := pb.NewBlock()
+	b.Add(ir.MovI(1, 1))
+	b.Ret(1)
+	prog := bd.Finish()
+	blk := prog.Proc(0).Blocks[0]
+	blk.SBSize = 5
+	res, err := Run(prog, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SBEntries != 1 || res.SBExecuted != 5 || res.SBSize != 5 {
+		t.Fatalf("SB stats = %d/%d/%d, want 1/5/5", res.SBEntries, res.SBExecuted, res.SBSize)
+	}
+}

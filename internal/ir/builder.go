@@ -1,0 +1,118 @@
+package ir
+
+// Builder provides a fluent API for constructing programs. Benchmark
+// generators and tests use it to assemble procedures block by block;
+// Finish runs the verifier so malformed programs fail fast.
+type Builder struct {
+	prog *Program
+}
+
+// NewBuilder starts a new program with the given name and data-memory
+// size in 64-bit words.
+func NewBuilder(name string, memWords int64) *Builder {
+	return &Builder{prog: &Program{Name: name, MemSize: memWords}}
+}
+
+// Data pre-initializes memory words starting at addr.
+func (bd *Builder) Data(addr int64, values ...int64) *Builder {
+	bd.prog.Data = append(bd.prog.Data, DataSeg{Addr: addr, Values: values})
+	return bd
+}
+
+// Proc begins a new procedure; the first block created in it becomes
+// the entry. The first procedure named "main" becomes the program
+// entry point (override with SetMain).
+func (bd *Builder) Proc(name string) *ProcBuilder {
+	p := bd.prog.AddProc(name)
+	if name == "main" {
+		bd.prog.Main = p.ID
+	}
+	return &ProcBuilder{prog: bd.prog, proc: p}
+}
+
+// SetMain overrides the program entry procedure.
+func (bd *Builder) SetMain(id ProcID) *Builder {
+	bd.prog.Main = id
+	return bd
+}
+
+// Finish verifies and returns the program. It panics on verification
+// failure: builder misuse is a programming error, not a runtime
+// condition.
+func (bd *Builder) Finish() *Program {
+	if err := Verify(bd.prog); err != nil {
+		panic("ir: invalid program from builder: " + err.Error())
+	}
+	return bd.prog
+}
+
+// Program returns the program without verification (for tests that
+// intentionally construct invalid IR).
+func (bd *Builder) Program() *Program { return bd.prog }
+
+// ProcBuilder accumulates blocks for one procedure.
+type ProcBuilder struct {
+	prog *Program
+	proc *Proc
+}
+
+// ID returns the procedure id (usable in Call before the procedure's
+// body is complete, enabling mutual recursion).
+func (pb *ProcBuilder) ID() ProcID { return pb.proc.ID }
+
+// NewBlock reserves a block and returns a BlockBuilder for it. Blocks
+// may be created eagerly and filled later, so forward branch targets
+// are easy to express.
+func (pb *ProcBuilder) NewBlock() *BlockBuilder {
+	b := pb.proc.AddBlock(NoBlock)
+	return &BlockBuilder{proc: pb.proc, block: b}
+}
+
+// NewBlocks reserves n blocks at once.
+func (pb *ProcBuilder) NewBlocks(n int) []*BlockBuilder {
+	out := make([]*BlockBuilder, n)
+	for i := range out {
+		out[i] = pb.NewBlock()
+	}
+	return out
+}
+
+// BlockBuilder appends instructions to one block.
+type BlockBuilder struct {
+	proc  *Proc
+	block *Block
+}
+
+// ID returns the block id for use as a branch target.
+func (bb *BlockBuilder) ID() BlockID { return bb.block.ID }
+
+// Add appends instructions to the block and returns the builder.
+func (bb *BlockBuilder) Add(instrs ...Instr) *BlockBuilder {
+	bb.block.Instrs = append(bb.block.Instrs, instrs...)
+	return bb
+}
+
+// Terminated reports whether the block already ends in a terminator,
+// so structured-control helpers can skip their implicit jump after a
+// body that returned early.
+func (bb *BlockBuilder) Terminated() bool {
+	n := len(bb.block.Instrs)
+	return n > 0 && bb.block.Instrs[n-1].Op.IsTerminator()
+}
+
+// Br terminates the block with a conditional branch.
+func (bb *BlockBuilder) Br(cond Reg, taken, fallthru BlockID) { bb.Add(Br(cond, taken, fallthru)) }
+
+// Jmp terminates the block with an unconditional jump.
+func (bb *BlockBuilder) Jmp(target BlockID) { bb.Add(Jmp(target)) }
+
+// Switch terminates the block with a multiway branch.
+func (bb *BlockBuilder) Switch(idx Reg, targets ...BlockID) { bb.Add(Switch(idx, targets...)) }
+
+// Call terminates the block with a call that continues at cont.
+func (bb *BlockBuilder) Call(dst Reg, callee ProcID, cont BlockID, args ...Reg) {
+	bb.Add(Call(dst, callee, cont, args...))
+}
+
+// Ret terminates the block with a return.
+func (bb *BlockBuilder) Ret(src Reg) { bb.Add(Ret(src)) }

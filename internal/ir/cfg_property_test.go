@@ -1,0 +1,160 @@
+package ir
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randCFGProg builds a random (reducible-or-not) CFG with n blocks:
+// each block ends in a branch or jump to random targets, with block
+// n-1 a return. Not executable — CFG analyses only.
+func randCFGProg(seed int64, n int) *Program {
+	rng := rand.New(rand.NewSource(seed))
+	bd := NewBuilder("randcfg", 4)
+	pb := bd.Proc("main")
+	bbs := pb.NewBlocks(n)
+	for i := 0; i < n-1; i++ {
+		bbs[i].Add(MovI(1, int64(i)))
+		switch rng.Intn(3) {
+		case 0:
+			bbs[i].Jmp(BlockID(rng.Intn(n)))
+		case 1:
+			bbs[i].Br(1, BlockID(rng.Intn(n)), BlockID(rng.Intn(n)))
+		default:
+			k := 2 + rng.Intn(3)
+			targets := make([]BlockID, k)
+			for j := range targets {
+				targets[j] = BlockID(rng.Intn(n))
+			}
+			bbs[i].Switch(1, targets...)
+		}
+	}
+	bbs[n-1].Ret(0)
+	prog := bd.Program()
+	if err := Verify(prog); err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+// Property: the immediate dominator of every reachable non-entry block
+// strictly dominates it, and domination is consistent with reachability
+// (removing a dominator disconnects the block).
+func TestDominatorProperties(t *testing.T) {
+	check := func(seed int64, sz uint8) bool {
+		n := int(sz%12) + 3
+		prog := randCFGProg(seed, n)
+		p := prog.Proc(0)
+		g := NewCFG(p)
+		entry := p.Entry().ID
+		for _, b := range p.Blocks {
+			if !g.Reachable(b.ID) || b.ID == entry {
+				continue
+			}
+			id := g.IDom(b.ID)
+			if id == NoBlock {
+				return false
+			}
+			if !g.Dominates(id, b.ID) || id == b.ID {
+				return false
+			}
+			// Entry dominates everything reachable.
+			if !g.Dominates(entry, b.ID) {
+				return false
+			}
+			// Check against a brute-force reachability-based oracle:
+			// id dominates b iff b is unreachable when id is removed.
+			if reachableWithout(g, p, entry, b.ID, id) {
+				t.Logf("seed %d: b%d reachable without its idom b%d", seed, b.ID, id)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// reachableWithout reports whether target is reachable from entry while
+// never passing through banned.
+func reachableWithout(g *CFG, p *Proc, entry, target, banned BlockID) bool {
+	if entry == banned {
+		return false
+	}
+	seen := map[BlockID]bool{entry: true}
+	stack := []BlockID{entry}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if b == target {
+			return true
+		}
+		for _, s := range g.Succs(b) {
+			if s != banned && !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return false
+}
+
+// Property: every back edge's natural loop contains both endpoints and
+// is closed under predecessors (except through the header).
+func TestNaturalLoopProperties(t *testing.T) {
+	check := func(seed int64, sz uint8) bool {
+		n := int(sz%10) + 3
+		prog := randCFGProg(seed, n)
+		p := prog.Proc(0)
+		g := NewCFG(p)
+		for _, b := range p.Blocks {
+			if !g.Reachable(b.ID) {
+				continue
+			}
+			for _, s := range g.Succs(b.ID) {
+				if !g.IsBackEdge(b.ID, s) {
+					continue
+				}
+				loop := g.NaturalLoop(b.ID, s)
+				if loop == nil || !loop[b.ID] || !loop[s] {
+					return false
+				}
+				for m := range loop {
+					if m == s {
+						continue
+					}
+					for _, pr := range g.Preds(m) {
+						if g.Reachable(pr) && !loop[pr] {
+							t.Logf("seed %d: loop of b%d->b%d not closed at b%d (pred b%d)",
+								seed, b.ID, s, m, pr)
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: text round-trip is the identity on random CFG programs.
+func TestTextRoundTripProperty(t *testing.T) {
+	check := func(seed int64, sz uint8) bool {
+		prog := randCFGProg(seed, int(sz%10)+3)
+		text := WriteText(prog)
+		back, err := ParseText(text)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return WriteText(back) == text
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

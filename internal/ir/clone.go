@@ -1,0 +1,73 @@
+package ir
+
+// CloneBlockInto appends a copy of src to p and returns the new block.
+// The clone's Origin is src's Origin, so origin chains always point at
+// the pristine original block regardless of how many generations of
+// duplication formation performs. Schedule annotations are dropped:
+// clones are produced before compaction.
+func CloneBlockInto(p *Proc, src *Block) *Block {
+	nb := p.AddBlock(src.Origin)
+	nb.Instrs = make([]Instr, len(src.Instrs))
+	for i := range src.Instrs {
+		nb.Instrs[i] = src.Instrs[i].Clone()
+	}
+	return nb
+}
+
+// CloneProgram deep-copies a whole program, so that destructive passes
+// can run while the original remains available for differential
+// testing.
+func CloneProgram(prog *Program) *Program {
+	out := &Program{
+		Name:    prog.Name,
+		Main:    prog.Main,
+		MemSize: prog.MemSize,
+	}
+	out.Data = make([]DataSeg, len(prog.Data))
+	for i, seg := range prog.Data {
+		out.Data[i] = DataSeg{Addr: seg.Addr, Values: append([]int64(nil), seg.Values...)}
+	}
+	out.Procs = make([]*Proc, len(prog.Procs))
+	for i, p := range prog.Procs {
+		np := &Proc{ID: p.ID, Name: p.Name, nextVirt: p.nextVirt}
+		np.Blocks = make([]*Block, len(p.Blocks))
+		for j, b := range p.Blocks {
+			nb := &Block{
+				ID:      b.ID,
+				Origin:  b.Origin,
+				SBID:    b.SBID,
+				SBIndex: b.SBIndex,
+				SBSize:  b.SBSize,
+				Span:    b.Span,
+				Addr:    b.Addr,
+			}
+			if b.ExitUnits != nil {
+				nb.ExitUnits = append([]int32(nil), b.ExitUnits...)
+			}
+			nb.Instrs = make([]Instr, len(b.Instrs))
+			for k := range b.Instrs {
+				nb.Instrs[k] = b.Instrs[k].Clone()
+			}
+			if b.Cycles != nil {
+				nb.Cycles = append([]int32(nil), b.Cycles...)
+			}
+			np.Blocks[j] = nb
+		}
+		out.Procs[i] = np
+	}
+	return out
+}
+
+// RedirectEdges rewrites every occurrence of target old in b's
+// terminator to new. It returns the number of rewritten targets.
+func RedirectEdges(b *Block, old, new BlockID) int {
+	t := b.Terminator()
+	n := 0
+	for i, tgt := range t.Targets {
+		if tgt == old {
+			t.Targets[i] = new
+			n++
+		}
+	}
+	return n
+}

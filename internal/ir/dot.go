@@ -1,0 +1,61 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// WriteDot renders a procedure's CFG in Graphviz DOT syntax. Nodes
+// show block id, instruction count, and superblock membership when
+// formation has annotated it; edges are labeled by kind (taken /
+// fallthrough / switch index / call continuation). An optional weight
+// function adds dynamic edge counts to the labels.
+func WriteDot(p *Proc, weight func(from, to BlockID) int64) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n  node [shape=box, fontname=\"monospace\"];\n", p.Name)
+	for _, b := range p.Blocks {
+		label := fmt.Sprintf("b%d (%d instrs)", b.ID, len(b.Instrs))
+		if b.SBID >= 0 {
+			label += fmt.Sprintf("\\nsb%d.%d", b.SBID, b.SBIndex)
+		}
+		attrs := ""
+		if b.ID == p.Entry().ID {
+			attrs = ", style=bold"
+		}
+		fmt.Fprintf(&sb, "  b%d [label=\"%s\"%s];\n", b.ID, label, attrs)
+	}
+	for _, b := range p.Blocks {
+		t := b.Terminator()
+		emit := func(to BlockID, kind string) {
+			if to == NoBlock {
+				return
+			}
+			label := kind
+			if weight != nil {
+				if w := weight(b.ID, to); w > 0 {
+					label = fmt.Sprintf("%s %d", kind, w)
+				}
+			}
+			fmt.Fprintf(&sb, "  b%d -> b%d [label=%q];\n", b.ID, to, label)
+		}
+		switch t.Op {
+		case OpBr:
+			emit(t.Targets[0], "T")
+			emit(t.Targets[1], "F")
+		case OpJmp:
+			emit(t.Targets[0], "")
+		case OpSwitch:
+			for i, tgt := range t.Targets {
+				if i == len(t.Targets)-1 {
+					emit(tgt, "def")
+				} else {
+					emit(tgt, fmt.Sprintf("%d", i))
+				}
+			}
+		case OpCall:
+			emit(t.Targets[0], "ret-to")
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

@@ -1,0 +1,154 @@
+package ir
+
+// Constructors for each instruction form. These keep benchmark
+// generators and tests terse and make malformed instructions hard to
+// build by hand.
+
+// Nop returns a no-op.
+func Nop() Instr { return Instr{Op: OpNop} }
+
+// MovI returns dst = imm.
+func MovI(dst Reg, imm int64) Instr { return Instr{Op: OpMovI, Dst: dst, Imm: imm} }
+
+// Mov returns dst = src.
+func Mov(dst, src Reg) Instr { return Instr{Op: OpMov, Dst: dst, Src1: src} }
+
+// Binary register-register operations.
+func Add(dst, a, b Reg) Instr { return Instr{Op: OpAdd, Dst: dst, Src1: a, Src2: b} }
+func Sub(dst, a, b Reg) Instr { return Instr{Op: OpSub, Dst: dst, Src1: a, Src2: b} }
+func Mul(dst, a, b Reg) Instr { return Instr{Op: OpMul, Dst: dst, Src1: a, Src2: b} }
+func And(dst, a, b Reg) Instr { return Instr{Op: OpAnd, Dst: dst, Src1: a, Src2: b} }
+func Or(dst, a, b Reg) Instr  { return Instr{Op: OpOr, Dst: dst, Src1: a, Src2: b} }
+func Xor(dst, a, b Reg) Instr { return Instr{Op: OpXor, Dst: dst, Src1: a, Src2: b} }
+func Shl(dst, a, b Reg) Instr { return Instr{Op: OpShl, Dst: dst, Src1: a, Src2: b} }
+func Shr(dst, a, b Reg) Instr { return Instr{Op: OpShr, Dst: dst, Src1: a, Src2: b} }
+
+// Binary register-immediate operations.
+func AddI(dst, a Reg, imm int64) Instr { return Instr{Op: OpAddI, Dst: dst, Src1: a, Imm: imm} }
+func MulI(dst, a Reg, imm int64) Instr { return Instr{Op: OpMulI, Dst: dst, Src1: a, Imm: imm} }
+func AndI(dst, a Reg, imm int64) Instr { return Instr{Op: OpAndI, Dst: dst, Src1: a, Imm: imm} }
+func OrI(dst, a Reg, imm int64) Instr  { return Instr{Op: OpOrI, Dst: dst, Src1: a, Imm: imm} }
+func XorI(dst, a Reg, imm int64) Instr { return Instr{Op: OpXorI, Dst: dst, Src1: a, Imm: imm} }
+func ShlI(dst, a Reg, imm int64) Instr { return Instr{Op: OpShlI, Dst: dst, Src1: a, Imm: imm} }
+func ShrI(dst, a Reg, imm int64) Instr { return Instr{Op: OpShrI, Dst: dst, Src1: a, Imm: imm} }
+
+// Comparisons.
+func CmpEQ(dst, a, b Reg) Instr { return Instr{Op: OpCmpEQ, Dst: dst, Src1: a, Src2: b} }
+func CmpNE(dst, a, b Reg) Instr { return Instr{Op: OpCmpNE, Dst: dst, Src1: a, Src2: b} }
+func CmpLT(dst, a, b Reg) Instr { return Instr{Op: OpCmpLT, Dst: dst, Src1: a, Src2: b} }
+func CmpLE(dst, a, b Reg) Instr { return Instr{Op: OpCmpLE, Dst: dst, Src1: a, Src2: b} }
+
+func CmpEQI(dst, a Reg, imm int64) Instr { return Instr{Op: OpCmpEQI, Dst: dst, Src1: a, Imm: imm} }
+func CmpNEI(dst, a Reg, imm int64) Instr { return Instr{Op: OpCmpNEI, Dst: dst, Src1: a, Imm: imm} }
+func CmpLTI(dst, a Reg, imm int64) Instr { return Instr{Op: OpCmpLTI, Dst: dst, Src1: a, Imm: imm} }
+func CmpLEI(dst, a Reg, imm int64) Instr { return Instr{Op: OpCmpLEI, Dst: dst, Src1: a, Imm: imm} }
+func CmpGTI(dst, a Reg, imm int64) Instr { return Instr{Op: OpCmpGTI, Dst: dst, Src1: a, Imm: imm} }
+func CmpGEI(dst, a Reg, imm int64) Instr { return Instr{Op: OpCmpGEI, Dst: dst, Src1: a, Imm: imm} }
+
+// Load returns dst = mem[base+off].
+func Load(dst, base Reg, off int64) Instr { return Instr{Op: OpLoad, Dst: dst, Src1: base, Imm: off} }
+
+// Store returns mem[base+off] = val.
+func Store(base Reg, off int64, val Reg) Instr {
+	return Instr{Op: OpStore, Src1: base, Src2: val, Imm: off}
+}
+
+// Emit appends the value of src to the observable output stream.
+func Emit(src Reg) Instr { return Instr{Op: OpEmit, Src1: src} }
+
+// Br returns "if cond != 0 goto taken else goto fallthru".
+func Br(cond Reg, taken, fallthru BlockID) Instr {
+	return Instr{Op: OpBr, Src1: cond, Targets: []BlockID{taken, fallthru}}
+}
+
+// Jmp returns an unconditional jump.
+func Jmp(target BlockID) Instr { return Instr{Op: OpJmp, Targets: []BlockID{target}} }
+
+// Switch returns a multiway branch on idx; the last target is the
+// default when idx is out of range.
+func Switch(idx Reg, targets ...BlockID) Instr {
+	return Instr{Op: OpSwitch, Src1: idx, Targets: targets}
+}
+
+// Call returns dst = callee(args...) followed by a fall-through to cont.
+func Call(dst Reg, callee ProcID, cont BlockID, args ...Reg) Instr {
+	return Instr{Op: OpCall, Dst: dst, Callee: callee, Targets: []BlockID{cont}, Args: args}
+}
+
+// Ret returns "return src".
+func Ret(src Reg) Instr { return Instr{Op: OpRet, Src1: src} }
+
+// IsTerminator reports whether the opcode ends a basic block.
+func (op Opcode) IsTerminator() bool {
+	switch op {
+	case OpBr, OpJmp, OpSwitch, OpCall, OpRet:
+		return true
+	}
+	return false
+}
+
+// IsBranch reports whether the opcode is a control instruction that
+// consumes the machine's single per-cycle control slot.
+func (op Opcode) IsBranch() bool { return op.IsTerminator() }
+
+// IsCondBranch reports whether the opcode chooses among multiple
+// successors at run time (the branches that bound general-path length).
+func (op Opcode) IsCondBranch() bool { return op == OpBr || op == OpSwitch }
+
+// HasDst reports whether the instruction writes a register.
+func (ins *Instr) HasDst() bool {
+	switch ins.Op {
+	case OpNop, OpStore, OpEmit, OpBr, OpJmp, OpSwitch, OpRet:
+		return false
+	case OpCall:
+		return true
+	}
+	return true
+}
+
+// Uses appends the registers the instruction reads to buf and returns
+// the extended slice. Using an appended buffer avoids per-call
+// allocation in the scheduler's hot loops.
+func (ins *Instr) Uses(buf []Reg) []Reg {
+	switch ins.Op {
+	case OpNop, OpMovI, OpJmp:
+	case OpMov, OpAddI, OpMulI, OpAndI, OpOrI, OpXorI, OpShlI, OpShrI,
+		OpCmpEQI, OpCmpNEI, OpCmpLTI, OpCmpLEI, OpCmpGTI, OpCmpGEI,
+		OpLoad, OpEmit, OpBr, OpSwitch, OpRet:
+		buf = append(buf, ins.Src1)
+	case OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor, OpShl, OpShr,
+		OpCmpEQ, OpCmpNE, OpCmpLT, OpCmpLE, OpStore:
+		buf = append(buf, ins.Src1, ins.Src2)
+	case OpCall:
+		buf = append(buf, ins.Args...)
+	}
+	return buf
+}
+
+// CanSpeculate reports whether the instruction may be hoisted above a
+// conditional branch. Stores, calls, emits, and terminators must not
+// move; loads may, becoming non-excepting speculative loads.
+func (ins Instr) CanSpeculate() bool {
+	switch ins.Op {
+	case OpStore, OpEmit, OpBr, OpJmp, OpSwitch, OpCall, OpRet:
+		return false
+	}
+	return true
+}
+
+// IsMemRead and IsMemWrite classify memory operations for dependence
+// construction.
+func (ins Instr) IsMemRead() bool  { return ins.Op == OpLoad }
+func (ins Instr) IsMemWrite() bool { return ins.Op == OpStore }
+
+// Clone returns a deep copy of the instruction.
+func (ins Instr) Clone() Instr {
+	out := ins
+	if ins.Targets != nil {
+		out.Targets = append([]BlockID(nil), ins.Targets...)
+	}
+	if ins.Args != nil {
+		out.Args = append([]Reg(nil), ins.Args...)
+	}
+	return out
+}

@@ -1,0 +1,436 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseText parses the textual IR format emitted by WriteText and
+// returns the verified program. Errors carry line numbers.
+func ParseText(text string) (*Program, error) {
+	p := &parser{}
+	lines := strings.Split(text, "\n")
+	for i, raw := range lines {
+		p.lineNo = i + 1
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if err := p.line(line); err != nil {
+			return nil, fmt.Errorf("ir: line %d: %w", p.lineNo, err)
+		}
+	}
+	if p.prog == nil {
+		return nil, fmt.Errorf("ir: no program header")
+	}
+	if err := Verify(p.prog); err != nil {
+		return nil, fmt.Errorf("ir: parsed program invalid: %w", err)
+	}
+	return p.prog, nil
+}
+
+type parser struct {
+	prog   *Program
+	proc   *Proc
+	block  *Block
+	lineNo int
+}
+
+func (p *parser) line(line string) error {
+	switch {
+	case strings.HasPrefix(line, "program "):
+		return p.header(line)
+	case strings.HasPrefix(line, "data "):
+		return p.data(line)
+	case strings.HasPrefix(line, "proc "):
+		if p.prog == nil {
+			return fmt.Errorf("proc before program header")
+		}
+		p.proc = p.prog.AddProc(strings.TrimSpace(strings.TrimPrefix(line, "proc ")))
+		p.block = nil
+		return nil
+	case strings.HasPrefix(line, "block "):
+		return p.blockHeader(line)
+	default:
+		if p.block == nil {
+			return fmt.Errorf("instruction outside a block: %q", line)
+		}
+		ins, err := parseInstr(line)
+		if err != nil {
+			return err
+		}
+		p.block.Instrs = append(p.block.Instrs, ins)
+		return nil
+	}
+}
+
+func (p *parser) header(line string) error {
+	if p.prog != nil {
+		return fmt.Errorf("duplicate program header")
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return fmt.Errorf("malformed program header %q", line)
+	}
+	prog := &Program{Name: fields[1]}
+	for _, f := range fields[2:] {
+		switch {
+		case strings.HasPrefix(f, "mem="):
+			v, err := strconv.ParseInt(f[4:], 10, 64)
+			if err != nil {
+				return fmt.Errorf("bad mem size %q", f)
+			}
+			prog.MemSize = v
+		case strings.HasPrefix(f, "main="):
+			v, err := strconv.ParseInt(f[5:], 10, 32)
+			if err != nil {
+				return fmt.Errorf("bad main id %q", f)
+			}
+			prog.Main = ProcID(v)
+		default:
+			return fmt.Errorf("unknown header field %q", f)
+		}
+	}
+	p.prog = prog
+	return nil
+}
+
+func (p *parser) data(line string) error {
+	if p.prog == nil {
+		return fmt.Errorf("data before program header")
+	}
+	rest := strings.TrimPrefix(line, "data ")
+	colon := strings.IndexByte(rest, ':')
+	if colon < 0 {
+		return fmt.Errorf("malformed data line")
+	}
+	addr, err := strconv.ParseInt(strings.TrimSpace(rest[:colon]), 10, 64)
+	if err != nil {
+		return fmt.Errorf("bad data address: %v", err)
+	}
+	seg := DataSeg{Addr: addr}
+	for _, f := range strings.Fields(rest[colon+1:]) {
+		v, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad data value %q", f)
+		}
+		seg.Values = append(seg.Values, v)
+	}
+	p.prog.Data = append(p.prog.Data, seg)
+	return nil
+}
+
+func (p *parser) blockHeader(line string) error {
+	if p.proc == nil {
+		return fmt.Errorf("block outside a proc")
+	}
+	rest := strings.TrimPrefix(line, "block ")
+	colon := strings.IndexByte(rest, ':')
+	if colon < 0 {
+		return fmt.Errorf("malformed block header")
+	}
+	id, err := parseBlockID(strings.TrimSpace(rest[:colon]))
+	if err != nil {
+		return err
+	}
+	if int(id) != len(p.proc.Blocks) {
+		return fmt.Errorf("block b%d out of order (expected b%d)", id, len(p.proc.Blocks))
+	}
+	b := p.proc.AddBlock(NoBlock)
+	for _, f := range strings.Fields(rest[colon+1:]) {
+		if strings.HasPrefix(f, "origin=") {
+			o, err := parseBlockID(f[len("origin="):])
+			if err != nil {
+				return err
+			}
+			b.Origin = o
+		} else {
+			return fmt.Errorf("unknown block attribute %q", f)
+		}
+	}
+	p.block = b
+	return nil
+}
+
+// opByName maps mnemonic to opcode.
+var opByName = func() map[string]Opcode {
+	m := make(map[string]Opcode, numOpcodes)
+	for op, name := range opNames {
+		if name != "" {
+			m[name] = Opcode(op)
+		}
+	}
+	return m
+}()
+
+func parseReg(s string) (Reg, error) {
+	s = strings.TrimSpace(s)
+	if len(s) < 2 {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.ParseInt(s[1:], 10, 32)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	switch s[0] {
+	case 'r':
+		return Reg(n), nil
+	case 'v':
+		return VirtBase + Reg(n), nil
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+func parseBlockID(s string) (BlockID, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "b") {
+		return 0, fmt.Errorf("bad block id %q", s)
+	}
+	n, err := strconv.ParseInt(s[1:], 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad block id %q", s)
+	}
+	return BlockID(n), nil
+}
+
+func parseImm(s string) (int64, error) {
+	v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	return v, nil
+}
+
+// parseInstr parses one instruction in Instr.String() syntax.
+func parseInstr(line string) (Instr, error) {
+	mnemonic := line
+	rest := ""
+	if sp := strings.IndexByte(line, ' '); sp >= 0 {
+		mnemonic, rest = line[:sp], strings.TrimSpace(line[sp+1:])
+	}
+	spec := false
+	if strings.HasSuffix(mnemonic, ".s") {
+		spec = true
+		mnemonic = strings.TrimSuffix(mnemonic, ".s")
+	}
+	op, ok := opByName[mnemonic]
+	if !ok {
+		return Instr{}, fmt.Errorf("unknown opcode %q", mnemonic)
+	}
+	ins := Instr{Op: op, Spec: spec}
+
+	args := splitArgs(rest)
+	fail := func() (Instr, error) {
+		return Instr{}, fmt.Errorf("malformed %s operands %q", mnemonic, rest)
+	}
+	var err error
+	switch op {
+	case OpNop:
+		if rest != "" {
+			return fail()
+		}
+	case OpMovI:
+		if len(args) != 2 {
+			return fail()
+		}
+		if ins.Dst, err = parseReg(args[0]); err != nil {
+			return Instr{}, err
+		}
+		if ins.Imm, err = parseImm(args[1]); err != nil {
+			return Instr{}, err
+		}
+	case OpMov:
+		if len(args) != 2 {
+			return fail()
+		}
+		if ins.Dst, err = parseReg(args[0]); err != nil {
+			return Instr{}, err
+		}
+		if ins.Src1, err = parseReg(args[1]); err != nil {
+			return Instr{}, err
+		}
+	case OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor, OpShl, OpShr,
+		OpCmpEQ, OpCmpNE, OpCmpLT, OpCmpLE:
+		if len(args) != 3 {
+			return fail()
+		}
+		if ins.Dst, err = parseReg(args[0]); err != nil {
+			return Instr{}, err
+		}
+		if ins.Src1, err = parseReg(args[1]); err != nil {
+			return Instr{}, err
+		}
+		if ins.Src2, err = parseReg(args[2]); err != nil {
+			return Instr{}, err
+		}
+	case OpAddI, OpMulI, OpAndI, OpOrI, OpXorI, OpShlI, OpShrI,
+		OpCmpEQI, OpCmpNEI, OpCmpLTI, OpCmpLEI, OpCmpGTI, OpCmpGEI:
+		if len(args) != 3 {
+			return fail()
+		}
+		if ins.Dst, err = parseReg(args[0]); err != nil {
+			return Instr{}, err
+		}
+		if ins.Src1, err = parseReg(args[1]); err != nil {
+			return Instr{}, err
+		}
+		if ins.Imm, err = parseImm(args[2]); err != nil {
+			return Instr{}, err
+		}
+	case OpLoad:
+		// load r1, [r2+4]
+		if len(args) != 2 {
+			return fail()
+		}
+		if ins.Dst, err = parseReg(args[0]); err != nil {
+			return Instr{}, err
+		}
+		if ins.Src1, ins.Imm, err = parseMem(args[1]); err != nil {
+			return Instr{}, err
+		}
+	case OpStore:
+		// store [r2+4], r3
+		if len(args) != 2 {
+			return fail()
+		}
+		if ins.Src1, ins.Imm, err = parseMem(args[0]); err != nil {
+			return Instr{}, err
+		}
+		if ins.Src2, err = parseReg(args[1]); err != nil {
+			return Instr{}, err
+		}
+	case OpEmit, OpRet:
+		if len(args) != 1 {
+			return fail()
+		}
+		if ins.Src1, err = parseReg(args[0]); err != nil {
+			return Instr{}, err
+		}
+	case OpBr:
+		if len(args) != 3 {
+			return fail()
+		}
+		if ins.Src1, err = parseReg(args[0]); err != nil {
+			return Instr{}, err
+		}
+		t0, err := parseBlockID(args[1])
+		if err != nil {
+			return Instr{}, err
+		}
+		t1, err := parseBlockID(args[2])
+		if err != nil {
+			return Instr{}, err
+		}
+		ins.Targets = []BlockID{t0, t1}
+	case OpJmp:
+		if len(args) != 1 {
+			return fail()
+		}
+		t, err := parseBlockID(args[0])
+		if err != nil {
+			return Instr{}, err
+		}
+		ins.Targets = []BlockID{t}
+	case OpSwitch:
+		// switch r1, b0 b1 b2
+		if len(args) < 2 {
+			return fail()
+		}
+		if ins.Src1, err = parseReg(args[0]); err != nil {
+			return Instr{}, err
+		}
+		for _, f := range strings.Fields(strings.Join(args[1:], " ")) {
+			t, err := parseBlockID(f)
+			if err != nil {
+				return Instr{}, err
+			}
+			ins.Targets = append(ins.Targets, t)
+		}
+	case OpCall:
+		return parseCall(rest, spec)
+	default:
+		return Instr{}, fmt.Errorf("unsupported opcode %q", mnemonic)
+	}
+	return ins, nil
+}
+
+// parseMem parses "[rN+imm]".
+func parseMem(s string) (Reg, int64, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	inner := s[1 : len(s)-1]
+	plus := strings.IndexByte(inner, '+')
+	if plus < 0 {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	r, err := parseReg(inner[:plus])
+	if err != nil {
+		return 0, 0, err
+	}
+	imm, err := parseImm(inner[plus+1:])
+	if err != nil {
+		return 0, 0, err
+	}
+	return r, imm, nil
+}
+
+// parseCall parses "r1, proc2(r3, r4) -> b5".
+func parseCall(rest string, spec bool) (Instr, error) {
+	comma := strings.IndexByte(rest, ',')
+	if comma < 0 {
+		return Instr{}, fmt.Errorf("malformed call %q", rest)
+	}
+	dst, err := parseReg(rest[:comma])
+	if err != nil {
+		return Instr{}, err
+	}
+	rest = strings.TrimSpace(rest[comma+1:])
+	open := strings.IndexByte(rest, '(')
+	closeP := strings.LastIndexByte(rest, ')')
+	arrow := strings.LastIndex(rest, "->")
+	if open < 0 || closeP < open || arrow < closeP {
+		return Instr{}, fmt.Errorf("malformed call %q", rest)
+	}
+	if !strings.HasPrefix(rest[:open], "proc") {
+		return Instr{}, fmt.Errorf("malformed callee in %q", rest)
+	}
+	calleeN, err := strconv.ParseInt(rest[4:open], 10, 32)
+	if err != nil {
+		return Instr{}, fmt.Errorf("bad callee id in %q", rest)
+	}
+	var argRegs []Reg
+	argText := strings.TrimSpace(rest[open+1 : closeP])
+	if argText != "" {
+		for _, a := range strings.Split(argText, ",") {
+			r, err := parseReg(a)
+			if err != nil {
+				return Instr{}, err
+			}
+			argRegs = append(argRegs, r)
+		}
+	}
+	cont, err := parseBlockID(strings.TrimSpace(rest[arrow+2:]))
+	if err != nil {
+		return Instr{}, err
+	}
+	ins := Call(dst, ProcID(calleeN), cont, argRegs...)
+	ins.Spec = spec
+	return ins, nil
+}
+
+// splitArgs splits a comma-separated operand list, respecting
+// brackets (memory operands contain no commas, so a simple top-level
+// split suffices; parentheses are handled by parseCall separately).
+func splitArgs(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}

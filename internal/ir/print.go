@@ -1,0 +1,94 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders an instruction in a compact assembly-like syntax.
+func (ins Instr) String() string {
+	var sb strings.Builder
+	sb.WriteString(ins.Op.String())
+	if ins.Spec {
+		sb.WriteString(".s")
+	}
+	switch ins.Op {
+	case OpNop:
+	case OpMovI:
+		fmt.Fprintf(&sb, " %v, %d", ins.Dst, ins.Imm)
+	case OpMov:
+		fmt.Fprintf(&sb, " %v, %v", ins.Dst, ins.Src1)
+	case OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor, OpShl, OpShr,
+		OpCmpEQ, OpCmpNE, OpCmpLT, OpCmpLE:
+		fmt.Fprintf(&sb, " %v, %v, %v", ins.Dst, ins.Src1, ins.Src2)
+	case OpAddI, OpMulI, OpAndI, OpOrI, OpXorI, OpShlI, OpShrI,
+		OpCmpEQI, OpCmpNEI, OpCmpLTI, OpCmpLEI, OpCmpGTI, OpCmpGEI:
+		fmt.Fprintf(&sb, " %v, %v, %d", ins.Dst, ins.Src1, ins.Imm)
+	case OpLoad:
+		fmt.Fprintf(&sb, " %v, [%v+%d]", ins.Dst, ins.Src1, ins.Imm)
+	case OpStore:
+		fmt.Fprintf(&sb, " [%v+%d], %v", ins.Src1, ins.Imm, ins.Src2)
+	case OpEmit:
+		fmt.Fprintf(&sb, " %v", ins.Src1)
+	case OpBr:
+		fmt.Fprintf(&sb, " %v, b%d, b%d", ins.Src1, ins.Targets[0], ins.Targets[1])
+	case OpJmp:
+		fmt.Fprintf(&sb, " b%d", ins.Targets[0])
+	case OpSwitch:
+		fmt.Fprintf(&sb, " %v,", ins.Src1)
+		for _, t := range ins.Targets {
+			fmt.Fprintf(&sb, " b%d", t)
+		}
+	case OpCall:
+		fmt.Fprintf(&sb, " %v, proc%d(", ins.Dst, ins.Callee)
+		for i, a := range ins.Args {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(a.String())
+		}
+		fmt.Fprintf(&sb, ") -> b%d", ins.Targets[0])
+	case OpRet:
+		fmt.Fprintf(&sb, " %v", ins.Src1)
+	}
+	return sb.String()
+}
+
+// Dump renders a procedure as readable text, including schedule
+// annotations when present.
+func (p *Proc) Dump() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "proc %s (id %d, %d blocks, %d instrs)\n",
+		p.Name, p.ID, len(p.Blocks), p.NumInstrs())
+	for _, b := range p.Blocks {
+		fmt.Fprintf(&sb, "b%d", b.ID)
+		if b.Origin != b.ID {
+			fmt.Fprintf(&sb, " (copy of b%d)", b.Origin)
+		}
+		if b.SBID >= 0 {
+			fmt.Fprintf(&sb, " [sb%d.%d]", b.SBID, b.SBIndex)
+		}
+		if b.Cycles != nil {
+			fmt.Fprintf(&sb, " span=%d", b.Span)
+		}
+		sb.WriteString(":\n")
+		for i, ins := range b.Instrs {
+			if b.Cycles != nil {
+				fmt.Fprintf(&sb, "  [c%2d] %s\n", b.Cycles[i], ins)
+			} else {
+				fmt.Fprintf(&sb, "  %s\n", ins)
+			}
+		}
+	}
+	return sb.String()
+}
+
+// Dump renders the whole program.
+func (pr *Program) Dump() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "program %s (main=proc%d, mem=%d words)\n", pr.Name, pr.Main, pr.MemSize)
+	for _, p := range pr.Procs {
+		sb.WriteString(p.Dump())
+	}
+	return sb.String()
+}

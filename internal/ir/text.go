@@ -1,0 +1,44 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// WriteText serializes a program to the textual IR format, which
+// ParseText reads back. The format is line-oriented:
+//
+//	program <name> mem=<words>
+//	data <addr>: <v0> <v1> ...
+//	proc <name>                      # procedures in id order
+//	block b<i>: [origin=b<k>]
+//	  <instruction>                  # Instr.String() syntax
+//
+// Schedule annotations, superblock metadata, and addresses are not
+// serialized: the format captures the architectural program, the input
+// to profiling and formation.
+func WriteText(prog *Program) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "program %s mem=%d main=%d\n", prog.Name, prog.MemSize, prog.Main)
+	for _, seg := range prog.Data {
+		fmt.Fprintf(&sb, "data %d:", seg.Addr)
+		for _, v := range seg.Values {
+			fmt.Fprintf(&sb, " %d", v)
+		}
+		sb.WriteString("\n")
+	}
+	for _, p := range prog.Procs {
+		fmt.Fprintf(&sb, "proc %s\n", p.Name)
+		for _, b := range p.Blocks {
+			if b.Origin != b.ID {
+				fmt.Fprintf(&sb, "block b%d: origin=b%d\n", b.ID, b.Origin)
+			} else {
+				fmt.Fprintf(&sb, "block b%d:\n", b.ID)
+			}
+			for _, ins := range b.Instrs {
+				fmt.Fprintf(&sb, "  %s\n", ins)
+			}
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,190 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTextRoundTripDiamond(t *testing.T) {
+	prog := diamond(t)
+	prog.Data = append(prog.Data, DataSeg{Addr: 2, Values: []int64{7, -3, 0}})
+	text := WriteText(prog)
+	back, err := ParseText(text)
+	if err != nil {
+		t.Fatalf("ParseText: %v\n%s", err, text)
+	}
+	if got := WriteText(back); got != text {
+		t.Fatalf("round trip diverged:\n--- first\n%s\n--- second\n%s", text, got)
+	}
+}
+
+func TestTextRoundTripAllInstructionForms(t *testing.T) {
+	bd := NewBuilder("forms", 64)
+	helper := bd.Proc("helper")
+	hb := helper.NewBlock()
+	hb.Ret(1)
+	pb := bd.Proc("main")
+	bb := pb.NewBlock()
+	next, sw1, sw2, end := pb.NewBlock(), pb.NewBlock(), pb.NewBlock(), pb.NewBlock()
+	spec := Load(9, 1, -4)
+	spec.Spec = true
+	bb.Add(
+		Nop(),
+		MovI(1, -77), Mov(2, 1),
+		Add(3, 1, 2), Sub(3, 1, 2), Mul(3, 1, 2), And(3, 1, 2), Or(3, 1, 2),
+		Xor(3, 1, 2), Shl(3, 1, 2), Shr(3, 1, 2),
+		AddI(4, 3, 12), MulI(4, 3, -2), AndI(4, 3, 255), OrI(4, 3, 1),
+		XorI(4, 3, 9), ShlI(4, 3, 2), ShrI(4, 3, 1),
+		CmpEQ(5, 1, 2), CmpNE(5, 1, 2), CmpLT(5, 1, 2), CmpLE(5, 1, 2),
+		CmpEQI(5, 1, 0), CmpNEI(5, 1, 0), CmpLTI(5, 1, 10), CmpLEI(5, 1, 10),
+		CmpGTI(5, 1, 10), CmpGEI(5, 1, 10),
+		Load(6, 1, 8), spec, Store(1, 8, 6), Emit(6),
+	)
+	bb.Br(5, next.ID(), sw1.ID())
+	next.Call(7, helper.ID(), sw1.ID(), 1, 2)
+	sw1.Switch(5, sw2.ID(), end.ID(), sw2.ID())
+	sw2.Jmp(end.ID())
+	end.Ret(7)
+	bd.SetMain(pb.ID())
+	prog := bd.Finish()
+
+	text := WriteText(prog)
+	back, err := ParseText(text)
+	if err != nil {
+		t.Fatalf("ParseText: %v\n%s", err, text)
+	}
+	if got := WriteText(back); got != text {
+		t.Fatalf("round trip diverged:\n%s\nvs\n%s", text, got)
+	}
+	// Spot checks.
+	if back.Main != 1 {
+		t.Fatalf("main = %d, want 1", back.Main)
+	}
+	ld := back.Procs[1].Blocks[0].Instrs[29]
+	if ld.Op != OpLoad || !ld.Spec || ld.Imm != -4 {
+		t.Fatalf("speculative load mangled: %v", ld)
+	}
+}
+
+func TestTextRoundTripVirtualRegisters(t *testing.T) {
+	bd := NewBuilder("virt", 8)
+	pb := bd.Proc("main")
+	b := pb.NewBlock()
+	v := VirtBase + 3
+	b.Add(MovI(v, 5), Mov(2, v))
+	b.Ret(2)
+	prog := bd.Finish()
+	text := WriteText(prog)
+	if !strings.Contains(text, "v3") {
+		t.Fatalf("virtual register not serialized as v3:\n%s", text)
+	}
+	back, err := ParseText(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Procs[0].Blocks[0].Instrs[0].Dst != v {
+		t.Fatal("virtual register lost in round trip")
+	}
+}
+
+func TestTextRoundTripOrigins(t *testing.T) {
+	prog := diamond(t)
+	p := prog.Proc(0)
+	CloneBlockInto(p, p.Blocks[2])
+	// The clone is unreachable; give it a terminator audit trail anyway.
+	text := WriteText(prog)
+	if !strings.Contains(text, "origin=b2") {
+		t.Fatalf("origin not serialized:\n%s", text)
+	}
+	back, err := ParseText(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := back.Procs[0].Blocks[6]
+	if clone.Origin != 2 {
+		t.Fatalf("clone origin = b%d, want b2", clone.Origin)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"no header":        "proc main\nblock b0:\n  ret r0\n",
+		"bad opcode":       "program x mem=8 main=0\nproc main\nblock b0:\n  frobnicate r1\n",
+		"bad register":     "program x mem=8 main=0\nproc main\nblock b0:\n  movi q1, 5\n",
+		"bad block order":  "program x mem=8 main=0\nproc main\nblock b1:\n  ret r0\n",
+		"instr outside":    "program x mem=8 main=0\nproc main\n  ret r0\n",
+		"bad data":         "program x mem=8 main=0\ndata zz: 1\n",
+		"invalid program":  "program x mem=8 main=0\nproc main\nblock b0:\n  movi r1, 5\n",
+		"duplicate header": "program x mem=8 main=0\nprogram y mem=8 main=0\n",
+		"bad mem operand":  "program x mem=8 main=0\nproc main\nblock b0:\n  load r1, [r2*4]\n",
+		"bad call":         "program x mem=8 main=0\nproc main\nblock b0:\n  call r1, proc0\n",
+	}
+	for name, text := range cases {
+		if _, err := ParseText(text); err == nil {
+			t.Errorf("%s: parse accepted invalid input", name)
+		}
+	}
+}
+
+func TestParseAcceptsCommentsAndBlankLines(t *testing.T) {
+	text := `# a comment
+program tiny mem=8 main=0
+
+proc main
+# entry
+block b0:
+  movi r1, 42
+  ret r1
+`
+	prog, err := ParseText(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Name != "tiny" || prog.NumInstrs() != 2 {
+		t.Fatalf("parsed %s with %d instrs", prog.Name, prog.NumInstrs())
+	}
+}
+
+func TestWriteDot(t *testing.T) {
+	prog := diamond(t)
+	prog.Procs[0].Blocks[2].SBID = 1
+	dot := WriteDot(prog.Proc(0), func(from, to BlockID) int64 {
+		if from == 0 && to == 2 {
+			return 500
+		}
+		return 0
+	})
+	for _, want := range []string{
+		"digraph \"main\"", "b0 [label=\"b0 (2 instrs)\", style=bold]",
+		"sb1", "b0 -> b2 [label=\"T 500\"]", "b0 -> b1 [label=\"F\"]",
+		"b2 -> b3", "b2 -> b4",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("dot output missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestWriteDotSwitchAndCall(t *testing.T) {
+	bd := NewBuilder("dotsw", 8)
+	callee := bd.Proc("leaf")
+	cb := callee.NewBlock()
+	cb.Ret(0)
+	pb := bd.Proc("main")
+	e, t0, t1, cont := pb.NewBlock(), pb.NewBlock(), pb.NewBlock(), pb.NewBlock()
+	e.Switch(1, t0.ID(), t1.ID())
+	t0.Call(2, callee.ID(), cont.ID())
+	t1.Ret(0)
+	cont.Ret(2)
+	bd.SetMain(pb.ID())
+	prog := bd.Program()
+	if err := Verify(prog); err != nil {
+		t.Fatal(err)
+	}
+	dot := WriteDot(prog.ProcByName("main"), nil)
+	for _, want := range []string{`label="0"`, `label="def"`, `label="ret-to"`} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("dot output missing %q:\n%s", want, dot)
+		}
+	}
+}

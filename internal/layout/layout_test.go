@@ -1,0 +1,165 @@
+package layout
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"pathsched/internal/ir"
+)
+
+// multiProc builds a program with k leaf procedures plus main.
+func multiProc(k int) *ir.Program {
+	bd := ir.NewBuilder("multi", 16)
+	pb := bd.Proc("main")
+	var leaves []ir.ProcID
+	for i := 0; i < k; i++ {
+		lp := bd.Proc("leaf")
+		b := lp.NewBlock()
+		b.Add(ir.AddI(0, 1, int64(i)))
+		b.Ret(0)
+		leaves = append(leaves, lp.ID())
+	}
+	cur := pb.NewBlock()
+	for _, l := range leaves {
+		next := pb.NewBlock()
+		cur.Call(2, l, next.ID(), 2)
+		cur = next
+	}
+	cur.Ret(2)
+	return bd.Finish()
+}
+
+func TestOrderProcsIsPermutation(t *testing.T) {
+	check := func(seedCalls []uint16) bool {
+		prog := multiProc(6)
+		calls := map[[2]ir.ProcID]int64{}
+		for i, c := range seedCalls {
+			a := ir.ProcID(i % 7)
+			b := ir.ProcID((i / 7) % 7)
+			if a != b {
+				calls[[2]ir.ProcID{a, b}] = int64(c)
+			}
+		}
+		order := OrderProcs(prog, calls)
+		if len(order) != len(prog.Procs) {
+			return false
+		}
+		seen := map[ir.ProcID]bool{}
+		for _, p := range order {
+			if seen[p] {
+				return false
+			}
+			seen[p] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeavyCallersPlacedAdjacent(t *testing.T) {
+	prog := multiProc(4) // procs: 0=main, 1..4 leaves
+	calls := map[[2]ir.ProcID]int64{
+		{0, 3}: 1000, // main calls leaf 3 hot
+		{0, 1}: 10,
+		{0, 2}: 5,
+		{0, 4}: 1,
+	}
+	order := OrderProcs(prog, calls)
+	pos := map[ir.ProcID]int{}
+	for i, p := range order {
+		pos[p] = i
+	}
+	d3 := abs(pos[0] - pos[3])
+	d4 := abs(pos[0] - pos[4])
+	if d3 > d4 {
+		t.Fatalf("hot callee further from main than cold one: order %v", order)
+	}
+	// The heaviest edge is merged first and chain merges never separate
+	// already-adjacent members, so main and leaf 3 stay adjacent.
+	if d3 != 1 {
+		t.Fatalf("heaviest call pair not adjacent: order %v", order)
+	}
+}
+
+func TestAssignAddressesDisjointAndAligned(t *testing.T) {
+	prog := multiProc(5)
+	total := Assign(prog, Input{ProcAlign: 32})
+	type rng struct{ lo, hi int64 }
+	var ranges []rng
+	for _, p := range prog.Procs {
+		lo := int64(1 << 62)
+		for _, b := range p.Blocks {
+			if b.Addr < 0 {
+				t.Fatal("negative address")
+			}
+			if b.Addr < lo {
+				lo = b.Addr
+			}
+			ranges = append(ranges, rng{b.Addr, b.Addr + int64(len(b.Instrs))*4})
+		}
+		if lo%32 != 0 {
+			t.Fatalf("proc %s starts at unaligned %d", p.Name, lo)
+		}
+	}
+	sort.Slice(ranges, func(i, j int) bool { return ranges[i].lo < ranges[j].lo })
+	for i := 1; i < len(ranges); i++ {
+		if ranges[i].lo < ranges[i-1].hi {
+			t.Fatalf("overlapping code ranges %v and %v", ranges[i-1], ranges[i])
+		}
+	}
+	if last := ranges[len(ranges)-1]; last.hi > total {
+		t.Fatalf("total size %d below last range end %d", total, last.hi)
+	}
+}
+
+func TestOrderBlocksFollowsHotEdges(t *testing.T) {
+	bd := ir.NewBuilder("chainy", 8)
+	pb := bd.Proc("main")
+	a, b, c, d := pb.NewBlock(), pb.NewBlock(), pb.NewBlock(), pb.NewBlock()
+	a.Add(ir.MovI(1, 1))
+	a.Br(1, c.ID(), b.ID()) // hot edge a->c
+	b.Ret(1)
+	c.Add(ir.MovI(2, 2))
+	c.Jmp(d.ID())
+	d.Ret(2)
+	prog := bd.Finish()
+	p := prog.Proc(0)
+
+	edgeFreq := func(pid ir.ProcID, from, to ir.BlockID) int64 {
+		if from == a.ID() && to == c.ID() {
+			return 100
+		}
+		return 1
+	}
+	blockFreq := func(pid ir.ProcID, bid ir.BlockID) int64 { return 1 }
+	order := OrderBlocks(p, Input{EdgeFreq: edgeFreq, BlockFreq: blockFreq})
+	if order[0] != a.ID() || order[1] != c.ID() || order[2] != d.ID() {
+		t.Fatalf("block order %v; want hot chain a,c,d first", order)
+	}
+	if len(order) != 4 {
+		t.Fatalf("order %v misses blocks", order)
+	}
+}
+
+func TestOrderBlocksCoversAllBlocksEvenUnreachable(t *testing.T) {
+	bd := ir.NewBuilder("unreach", 8)
+	pb := bd.Proc("main")
+	e, dead := pb.NewBlock(), pb.NewBlock()
+	e.Ret(0)
+	dead.Ret(1)
+	prog := bd.Finish()
+	order := OrderBlocks(prog.Proc(0), Input{})
+	if len(order) != 2 {
+		t.Fatalf("order %v must include unreachable blocks (they still occupy space)", order)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

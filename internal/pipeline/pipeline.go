@@ -1,0 +1,333 @@
+// Package pipeline wires the full system together, reproducing the
+// paper's methodology (§3): profile the training input (edge + general
+// path + call graph in one run), form superblocks with the scheme
+// under study, compact them for the experimental VLIW, place
+// procedures Pettis–Hansen style, and measure the testing input by
+// direct execution — cycle counts with and without the 32KB
+// direct-mapped instruction cache.
+//
+// Benchmarks bake their input into the program (data segments and loop
+// bounds), while their CFG structure is input-independent. Profiles
+// therefore transfer from the training build to the testing build by
+// block id, and formation — which is deterministic given a profile —
+// produces structurally identical transformed programs for both
+// builds. The pipeline exploits that: layout weights are gathered by
+// running the *transformed training build* (never the testing input),
+// exactly like a profile-guided link step.
+package pipeline
+
+import (
+	"fmt"
+
+	"pathsched/internal/bench"
+	"pathsched/internal/core"
+	"pathsched/internal/interp"
+	"pathsched/internal/ir"
+	"pathsched/internal/layout"
+	"pathsched/internal/machine"
+	"pathsched/internal/profile"
+	"pathsched/internal/sched"
+)
+
+// Scheme names follow the paper's figures.
+type Scheme string
+
+const (
+	// SchemeBB is the basic-block-scheduled baseline of Table 1.
+	SchemeBB Scheme = "BB"
+	// SchemeM4 and SchemeM16 are edge-profile mutual-most-likely
+	// formation with unroll factors 4 and 16.
+	SchemeM4  Scheme = "M4"
+	SchemeM16 Scheme = "M16"
+	// SchemeP4 is path-based formation with up to 4 superblock-loop
+	// heads; SchemeP4e limits non-loop superblocks to tail-duplicated
+	// code (§4).
+	SchemeP4  Scheme = "P4"
+	SchemeP4e Scheme = "P4e"
+)
+
+// AllSchemes returns every scheme in presentation order.
+func AllSchemes() []Scheme {
+	return []Scheme{SchemeBB, SchemeM4, SchemeM16, SchemeP4e, SchemeP4}
+}
+
+// Options configures a pipeline run.
+type Options struct {
+	// Machine is the VLIW model (default machine.Default).
+	Machine machine.Config
+	// Cache, when non-nil, simulates the instruction cache; the
+	// measurement then reports both ideal and cache-adjusted cycles.
+	Cache *machine.ICacheConfig
+	// PathDepth overrides the general-path depth (default 15).
+	PathDepth int
+	// PathCrossActivation keeps path windows per procedure instead of
+	// per activation (see profile.PathConfig.CrossActivation).
+	PathCrossActivation bool
+	// Form tweaks the formation config after scheme defaults apply
+	// (used by ablation benches).
+	Form func(*core.Config)
+	// Sched carries compaction options (renaming/DCE ablations).
+	Sched sched.Options
+}
+
+// Measurement is one (benchmark, scheme) data point.
+type Measurement struct {
+	Scheme Scheme
+
+	Cycles      int64 // including fetch stalls when a cache is simulated
+	IdealCycles int64 // cycles with a perfect I-cache
+	FetchStall  int64
+
+	CacheAccesses int64
+	CacheMisses   int64
+	MissRate      float64
+
+	DynInstrs   int64
+	DynBranches int64
+	CodeBytes   int64 // transformed program size
+
+	// Figure 7 statistics, dynamically weighted over superblock
+	// entries.
+	SBEntries         int64
+	AvgBlocksExecuted float64
+	AvgSBSize         float64
+
+	FormStats core.Stats
+}
+
+// Result bundles all measurements for one benchmark.
+type Result struct {
+	Name        string
+	Description string
+	Category    string
+
+	// OrigCodeBytes is the untransformed binary size (Table 1 "Size").
+	OrigCodeBytes int64
+
+	ByScheme map[Scheme]*Measurement
+}
+
+// Runner caches per-benchmark training state so several schemes reuse
+// one profiling run.
+type Runner struct {
+	opts Options
+}
+
+// NewRunner returns a runner with the given options.
+func NewRunner(opts Options) *Runner {
+	if opts.Machine.FuncUnits == 0 {
+		opts.Machine = machine.Default()
+	}
+	if opts.Sched.Machine.FuncUnits == 0 {
+		// The compactor schedules for the same machine the pipeline
+		// measures on.
+		opts.Sched.Machine = opts.Machine
+	}
+	return &Runner{opts: opts}
+}
+
+// RunBenchmark measures b under every requested scheme.
+func (r *Runner) RunBenchmark(b *bench.Benchmark, schemes []Scheme) (*Result, error) {
+	trainProg := b.Build(b.Train)
+	testProg := b.Build(b.Test)
+	if err := checkSameShape(trainProg, testProg); err != nil {
+		return nil, fmt.Errorf("pipeline: %s: train/test builds diverge: %w", b.Name, err)
+	}
+
+	// One training run feeds all profile consumers.
+	ep := profile.NewEdgeProfiler(trainProg)
+	pp := profile.NewPathProfiler(trainProg, profile.PathConfig{
+		Depth:           r.opts.PathDepth,
+		CrossActivation: r.opts.PathCrossActivation,
+	})
+	if _, err := interp.Run(trainProg, interp.Config{Observer: profile.Multi{ep, pp}}); err != nil {
+		return nil, fmt.Errorf("pipeline: %s: training run: %w", b.Name, err)
+	}
+	eprof, pprof := ep.Profile(), pp.Profile()
+
+	// Reference output for the correctness cross-check.
+	ref, err := interp.Run(b.Build(b.Test), interp.Config{})
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: %s: reference run: %w", b.Name, err)
+	}
+
+	res := &Result{
+		Name:          b.Name,
+		Description:   b.Description,
+		Category:      b.Category,
+		OrigCodeBytes: testProg.CodeBytes(),
+		ByScheme:      map[Scheme]*Measurement{},
+	}
+	for _, s := range schemes {
+		m, err := r.runScheme(b, s, eprof, pprof, ref)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: %s/%s: %w", b.Name, s, err)
+		}
+		res.ByScheme[s] = m
+	}
+	return res, nil
+}
+
+// compileWith forms and compacts a fresh build of prog under scheme s.
+func (r *Runner) compileWith(prog *ir.Program, s Scheme, eprof *profile.EdgeProfile, pprof *profile.PathProfile) (*ir.Program, *core.Result, core.Stats, error) {
+	if s == SchemeBB {
+		if err := sched.CompactBasicBlocks(prog, r.opts.Sched); err != nil {
+			return nil, nil, core.Stats{}, err
+		}
+		return prog, nil, core.Stats{}, nil
+	}
+	cfg := core.DefaultConfig()
+	cfg.Edge, cfg.Path = eprof, pprof
+	switch s {
+	case SchemeM4:
+		cfg.Method = core.EdgeBased
+		cfg.UnrollFactor = 4
+	case SchemeM16:
+		cfg.Method = core.EdgeBased
+		cfg.UnrollFactor = 16
+	case SchemeP4:
+		cfg.Method = core.PathBased
+	case SchemeP4e:
+		cfg.Method = core.PathBased
+		cfg.StopNonLoopAtFirstHead = true
+	default:
+		return nil, nil, core.Stats{}, fmt.Errorf("unknown scheme %q", s)
+	}
+	if r.opts.Form != nil {
+		r.opts.Form(&cfg)
+	}
+	formed, err := core.Form(prog, cfg)
+	if err != nil {
+		return nil, nil, core.Stats{}, err
+	}
+	if err := sched.Compact(formed, r.opts.Sched); err != nil {
+		return nil, nil, core.Stats{}, err
+	}
+	return formed.Prog, formed, formed.Stats, nil
+}
+
+func (r *Runner) runScheme(b *bench.Benchmark, s Scheme, eprof *profile.EdgeProfile, pprof *profile.PathProfile, ref *interp.Result) (*Measurement, error) {
+	// Compile the training build to harvest layout weights, then the
+	// testing build for measurement. Formation is deterministic given
+	// (CFG, profile), so both compiles produce the same structure.
+	trainBin, _, _, err := r.compileWith(b.Build(b.Train), s, eprof, pprof)
+	if err != nil {
+		return nil, fmt.Errorf("train compile: %w", err)
+	}
+	testBin, _, stats, err := r.compileWith(b.Build(b.Test), s, eprof, pprof)
+	if err != nil {
+		return nil, fmt.Errorf("test compile: %w", err)
+	}
+	if err := checkSameShape(trainBin, testBin); err != nil {
+		return nil, fmt.Errorf("formed builds diverge: %w", err)
+	}
+
+	// Layout weights from the transformed training build.
+	lep := profile.NewEdgeProfiler(trainBin)
+	cg := profile.NewCallGraphProfiler()
+	if _, err := interp.Run(trainBin, interp.Config{Observer: profile.Multi{lep, cg}}); err != nil {
+		return nil, fmt.Errorf("layout training run: %w", err)
+	}
+	lprof := lep.Profile()
+	layout.Assign(testBin, layout.Input{
+		CallCounts: cg.Counts(),
+		BlockFreq:  lprof.BlockFreq,
+		EdgeFreq:   lprof.EdgeFreq,
+	})
+
+	// Measurement run.
+	cfg := interp.Config{}
+	var cache *machine.ICache
+	if r.opts.Cache != nil {
+		cache = machine.NewICache(*r.opts.Cache)
+		cfg.Fetch = cache
+	}
+	got, err := interp.Run(testBin, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("measurement run: %w", err)
+	}
+	if err := sameBehaviour(ref, got); err != nil {
+		return nil, fmt.Errorf("transformed program diverged: %w", err)
+	}
+
+	m := &Measurement{
+		Scheme:      s,
+		Cycles:      got.Cycles,
+		IdealCycles: got.Cycles - got.FetchStall,
+		FetchStall:  got.FetchStall,
+		DynInstrs:   got.DynInstrs,
+		DynBranches: got.DynBranches,
+		CodeBytes:   testBin.CodeBytes(),
+		SBEntries:   got.SBEntries,
+		FormStats:   stats,
+	}
+	if got.SBEntries > 0 {
+		m.AvgBlocksExecuted = float64(got.SBExecuted) / float64(got.SBEntries)
+		m.AvgSBSize = float64(got.SBSize) / float64(got.SBEntries)
+	}
+	if cache != nil {
+		m.CacheAccesses = cache.Accesses()
+		m.CacheMisses = cache.Misses()
+		m.MissRate = cache.MissRate()
+	}
+	return m, nil
+}
+
+// RunSuite measures every named benchmark (nil means the whole suite).
+func (r *Runner) RunSuite(names []string, schemes []Scheme) ([]*Result, error) {
+	if names == nil {
+		names = bench.Names()
+	}
+	var out []*Result
+	for _, n := range names {
+		b := bench.ByName(n)
+		if b == nil {
+			return nil, fmt.Errorf("pipeline: unknown benchmark %q", n)
+		}
+		res, err := r.RunBenchmark(b, schemes)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// checkSameShape verifies two builds of a benchmark have identical CFG
+// structure (procedures, block counts, terminator opcodes), the
+// property profile transfer relies on.
+func checkSameShape(a, b *ir.Program) error {
+	if len(a.Procs) != len(b.Procs) {
+		return fmt.Errorf("proc count %d vs %d", len(a.Procs), len(b.Procs))
+	}
+	for i := range a.Procs {
+		pa, pb := a.Procs[i], b.Procs[i]
+		if len(pa.Blocks) != len(pb.Blocks) {
+			return fmt.Errorf("proc %s: block count %d vs %d", pa.Name, len(pa.Blocks), len(pb.Blocks))
+		}
+		for j := range pa.Blocks {
+			ta := pa.Blocks[j].Terminator().Op
+			tb := pb.Blocks[j].Terminator().Op
+			if ta != tb {
+				return fmt.Errorf("proc %s block b%d: terminator %v vs %v", pa.Name, j, ta, tb)
+			}
+		}
+	}
+	return nil
+}
+
+// sameBehaviour checks observable equivalence of two runs.
+func sameBehaviour(a, b *interp.Result) error {
+	if a.Ret != b.Ret {
+		return fmt.Errorf("return value %d vs %d", a.Ret, b.Ret)
+	}
+	if len(a.Output) != len(b.Output) {
+		return fmt.Errorf("output length %d vs %d", len(a.Output), len(b.Output))
+	}
+	for i := range a.Output {
+		if a.Output[i] != b.Output[i] {
+			return fmt.Errorf("output[%d] = %d vs %d", i, a.Output[i], b.Output[i])
+		}
+	}
+	return nil
+}

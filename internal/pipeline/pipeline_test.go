@@ -1,0 +1,107 @@
+package pipeline
+
+import (
+	"testing"
+
+	"pathsched/internal/bench"
+	"pathsched/internal/machine"
+)
+
+func testCache() *machine.ICacheConfig {
+	c := machine.DefaultICache()
+	return &c
+}
+
+func TestPipelineMicroBenchmarks(t *testing.T) {
+	r := NewRunner(Options{Cache: testCache()})
+	for _, name := range []string{"alt", "ph", "corr"} {
+		res, err := r.RunBenchmark(bench.ByName(name), AllSchemes())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		bb := res.ByScheme[SchemeBB]
+		if bb == nil || bb.Cycles == 0 {
+			t.Fatalf("%s: missing BB baseline", name)
+		}
+		for _, s := range AllSchemes() {
+			m := res.ByScheme[s]
+			if m.IdealCycles <= 0 || m.IdealCycles > bb.Cycles*2 {
+				t.Errorf("%s/%s: implausible ideal cycles %d (bb %d)", name, s, m.IdealCycles, bb.Cycles)
+			}
+			if s != SchemeBB && m.IdealCycles >= bb.IdealCycles {
+				t.Errorf("%s/%s: superblock scheduling (%d) did not beat BB (%d)",
+					name, s, m.IdealCycles, bb.IdealCycles)
+			}
+		}
+		// The microbenchmarks were constructed so path formation wins.
+		p4 := res.ByScheme[SchemeP4]
+		m4 := res.ByScheme[SchemeM4]
+		if p4.IdealCycles >= m4.IdealCycles {
+			t.Errorf("%s: P4 (%d cycles) must beat M4 (%d) on a path-friendly microbenchmark",
+				name, p4.IdealCycles, m4.IdealCycles)
+		}
+	}
+}
+
+func TestPipelineSchemesProduceFigure7Stats(t *testing.T) {
+	r := NewRunner(Options{})
+	res, err := r.RunBenchmark(bench.ByName("wc"), []Scheme{SchemeM4, SchemeP4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []Scheme{SchemeM4, SchemeP4} {
+		m := res.ByScheme[s]
+		if m.SBEntries == 0 {
+			t.Fatalf("%s: no superblock entries recorded", s)
+		}
+		if m.AvgBlocksExecuted <= 0 || m.AvgSBSize < m.AvgBlocksExecuted {
+			t.Fatalf("%s: inconsistent Figure 7 stats: exec %.2f size %.2f",
+				s, m.AvgBlocksExecuted, m.AvgSBSize)
+		}
+	}
+}
+
+func TestPipelineCacheAccounting(t *testing.T) {
+	r := NewRunner(Options{Cache: testCache()})
+	res, err := r.RunBenchmark(bench.ByName("wc"), []Scheme{SchemeBB, SchemeP4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, m := range res.ByScheme {
+		if m.Cycles != m.IdealCycles+m.FetchStall {
+			t.Fatalf("%s: cycles %d != ideal %d + stall %d", s, m.Cycles, m.IdealCycles, m.FetchStall)
+		}
+		if m.CacheAccesses == 0 {
+			t.Fatalf("%s: cache never accessed", s)
+		}
+		if m.MissRate < 0 || m.MissRate > 1 {
+			t.Fatalf("%s: miss rate %v", s, m.MissRate)
+		}
+	}
+}
+
+func TestPipelineRejectsUnknownBenchmark(t *testing.T) {
+	r := NewRunner(Options{})
+	if _, err := r.RunSuite([]string{"nope"}, []Scheme{SchemeBB}); err == nil {
+		t.Fatal("unknown benchmark must error")
+	}
+}
+
+func TestPipelineSuiteSubset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	r := NewRunner(Options{Cache: testCache()})
+	results, err := r.RunSuite([]string{"eqn", "li"}, AllSchemes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for _, res := range results {
+		if len(res.ByScheme) != len(AllSchemes()) {
+			t.Fatalf("%s: missing schemes", res.Name)
+		}
+	}
+}

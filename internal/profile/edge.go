@@ -1,0 +1,119 @@
+package profile
+
+import (
+	"sort"
+
+	"pathsched/internal/ir"
+)
+
+// EdgeProfiler is an interp.Observer that gathers a point profile:
+// per-procedure block and edge execution counts.
+type EdgeProfiler struct {
+	procs []*procEdges
+}
+
+type procEdges struct {
+	entries    int64
+	blockCount map[ir.BlockID]int64
+	succCount  map[ir.BlockID]map[ir.BlockID]int64
+	predCount  map[ir.BlockID]map[ir.BlockID]int64
+}
+
+// NewEdgeProfiler returns an edge profiler for prog.
+func NewEdgeProfiler(prog *ir.Program) *EdgeProfiler {
+	ep := &EdgeProfiler{procs: make([]*procEdges, len(prog.Procs))}
+	for i := range ep.procs {
+		ep.procs[i] = &procEdges{
+			blockCount: map[ir.BlockID]int64{},
+			succCount:  map[ir.BlockID]map[ir.BlockID]int64{},
+			predCount:  map[ir.BlockID]map[ir.BlockID]int64{},
+		}
+	}
+	return ep
+}
+
+// EnterProc implements interp.Observer.
+func (ep *EdgeProfiler) EnterProc(p ir.ProcID, entry ir.BlockID) { ep.procs[p].entries++ }
+
+// ExitProc implements interp.Observer.
+func (ep *EdgeProfiler) ExitProc(p ir.ProcID) {}
+
+// Block implements interp.Observer.
+func (ep *EdgeProfiler) Block(p ir.ProcID, b ir.BlockID) { ep.procs[p].blockCount[b]++ }
+
+// Edge implements interp.Observer.
+func (ep *EdgeProfiler) Edge(p ir.ProcID, from, to ir.BlockID) {
+	pe := ep.procs[p]
+	sm := pe.succCount[from]
+	if sm == nil {
+		sm = map[ir.BlockID]int64{}
+		pe.succCount[from] = sm
+	}
+	sm[to]++
+	pm := pe.predCount[to]
+	if pm == nil {
+		pm = map[ir.BlockID]int64{}
+		pe.predCount[to] = pm
+	}
+	pm[from]++
+}
+
+// Profile freezes the profiler into a queryable EdgeProfile. The
+// profiler may keep observing; the returned profile shares its counts.
+func (ep *EdgeProfiler) Profile() *EdgeProfile { return &EdgeProfile{procs: ep.procs} }
+
+// EdgeProfile answers point-profile queries for trace selection and
+// enlargement.
+type EdgeProfile struct {
+	procs []*procEdges
+}
+
+// Entries returns how many times procedure p was invoked.
+func (e *EdgeProfile) Entries(p ir.ProcID) int64 { return e.procs[p].entries }
+
+// BlockFreq returns the execution count of block b in procedure p.
+func (e *EdgeProfile) BlockFreq(p ir.ProcID, b ir.BlockID) int64 {
+	return e.procs[p].blockCount[b]
+}
+
+// EdgeFreq returns the execution count of the CFG edge from→to.
+func (e *EdgeProfile) EdgeFreq(p ir.ProcID, from, to ir.BlockID) int64 {
+	return e.procs[p].succCount[from][to]
+}
+
+// MostLikelySucc returns the successor of b with the highest edge
+// count and that count, or (NoBlock, 0) when b never transferred
+// control. Ties break toward the smallest block id.
+func (e *EdgeProfile) MostLikelySucc(p ir.ProcID, b ir.BlockID) (ir.BlockID, int64) {
+	return argmax(e.procs[p].succCount[b])
+}
+
+// MostLikelyPred is the mirror of MostLikelySucc over predecessors.
+func (e *EdgeProfile) MostLikelyPred(p ir.ProcID, b ir.BlockID) (ir.BlockID, int64) {
+	return argmax(e.procs[p].predCount[b])
+}
+
+// BlocksByFreq returns procedure p's executed blocks in decreasing
+// frequency order (ties toward smaller ids): the seed order for trace
+// selection.
+func (e *EdgeProfile) BlocksByFreq(p ir.ProcID) []ir.BlockID {
+	pe := e.procs[p]
+	out := make([]ir.BlockID, 0, len(pe.blockCount))
+	for b := range pe.blockCount {
+		out = append(out, b)
+	}
+	sortBlocksByCount(out, pe.blockCount)
+	return out
+}
+
+// sortBlocksByCount orders ids by (count desc, id asc), the
+// deterministic seed order used everywhere in formation.
+func sortBlocksByCount(ids []ir.BlockID, count map[ir.BlockID]int64) {
+	sort.Slice(ids, func(i, j int) bool {
+		ci, cj := count[ids[i]], count[ids[j]]
+		if ci != cj {
+			return ci > cj
+		}
+		return ids[i] < ids[j]
+	})
+}

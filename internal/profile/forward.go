@@ -1,0 +1,39 @@
+package profile
+
+import (
+	"pathsched/internal/ir"
+)
+
+// Forward-path profiling (Ball & Larus [2], Bala [1]) restricts paths
+// so they never contain a loop back edge: the window resets whenever
+// one is crossed. The paper (§2.2) chooses *general* paths instead
+// precisely because forward paths cannot see loop iteration counts or
+// cross-iteration branch correlation; this implementation exists to
+// make that comparison concrete (see the package tests) and as a
+// drop-in for experiments with forward-path-based formation.
+//
+// The implementation reuses the general profiler's interned automaton;
+// the only difference is the reset rule, driven by dominator-derived
+// back edges of each procedure's CFG.
+
+// NewForwardPathProfiler returns a profiler identical to
+// NewPathProfiler except that windows are truncated at loop back
+// edges.
+func NewForwardPathProfiler(prog *ir.Program, cfg PathConfig) *PathProfiler {
+	pp := NewPathProfiler(prog, cfg)
+	pp.forward = true
+	pp.backEdges = make([]map[[2]ir.BlockID]bool, len(prog.Procs))
+	for i, p := range prog.Procs {
+		g := ir.NewCFG(p)
+		m := map[[2]ir.BlockID]bool{}
+		for _, b := range p.Blocks {
+			for _, s := range b.Succs() {
+				if g.IsBackEdge(b.ID, s) {
+					m[[2]ir.BlockID{b.ID, s}] = true
+				}
+			}
+		}
+		pp.backEdges[i] = m
+	}
+	return pp
+}

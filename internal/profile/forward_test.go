@@ -1,0 +1,125 @@
+package profile
+
+import (
+	"testing"
+
+	"pathsched/internal/interp"
+	"pathsched/internal/ir"
+)
+
+// loopProgF builds entry → head; head → body | exit; body → head, the
+// canonical loop for contrasting general and forward paths.
+func loopProgF(n int64) *ir.Program {
+	bd := ir.NewBuilder("loop", 8)
+	pb := bd.Proc("main")
+	entry, head, body, exit := pb.NewBlock(), pb.NewBlock(), pb.NewBlock(), pb.NewBlock()
+	entry.Add(ir.MovI(1, 0))
+	entry.Jmp(head.ID())
+	head.Add(ir.CmpLTI(2, 1, n))
+	head.Br(2, body.ID(), exit.ID())
+	body.Add(ir.AddI(1, 1, 1))
+	body.Jmp(head.ID())
+	exit.Ret(1)
+	return bd.Finish()
+}
+
+func TestForwardPathsTruncateAtBackEdges(t *testing.T) {
+	prog := loopProgF(50)
+	gp := NewPathProfiler(prog, PathConfig{})
+	fp := NewForwardPathProfiler(prog, PathConfig{})
+	if _, err := interp.Run(prog, interp.Config{Observer: Multi{gp, fp}}); err != nil {
+		t.Fatal(err)
+	}
+	g, f := gp.Profile(), fp.Profile()
+
+	// Both agree on point statistics and forward-only sequences.
+	for b := ir.BlockID(0); b < 4; b++ {
+		if g.BlockFreq(0, b) != f.BlockFreq(0, b) {
+			t.Fatalf("block b%d: general %d vs forward %d", b, g.BlockFreq(0, b), f.BlockFreq(0, b))
+		}
+	}
+	hb := []ir.BlockID{1, 2} // head, body: no back edge inside
+	if g.Freq(0, hb) != f.Freq(0, hb) {
+		t.Fatalf("within-iteration path differs: %d vs %d", g.Freq(0, hb), f.Freq(0, hb))
+	}
+
+	// The defining difference (§2.2): a two-iteration sequence crosses
+	// the body→head back edge. General paths count it; forward paths
+	// cannot see it at all.
+	twoIter := []ir.BlockID{1, 2, 1, 2}
+	if got := g.Freq(0, twoIter); got != 49 {
+		t.Fatalf("general two-iteration freq = %d, want 49", got)
+	}
+	if got := f.Freq(0, twoIter); got != 0 {
+		t.Fatalf("forward two-iteration freq = %d, want 0", got)
+	}
+	// Even the bare back edge is invisible to forward paths.
+	if got := f.Freq(0, []ir.BlockID{2, 1}); got != 0 {
+		t.Fatalf("forward back-edge freq = %d, want 0", got)
+	}
+	if got := g.Freq(0, []ir.BlockID{2, 1}); got != 50 {
+		t.Fatalf("general back-edge freq = %d, want 50", got)
+	}
+}
+
+func TestForwardPathsStillSeeAcyclicCorrelation(t *testing.T) {
+	// Correlation within one loop body (no back edge between the two
+	// branches) is visible to both profile kinds.
+	bd := ir.NewBuilder("corr", 8)
+	pb := bd.Proc("main")
+	entry, head, first, t1, f1, mid, t2, f2, latch, exit :=
+		pb.NewBlock(), pb.NewBlock(), pb.NewBlock(), pb.NewBlock(), pb.NewBlock(),
+		pb.NewBlock(), pb.NewBlock(), pb.NewBlock(), pb.NewBlock(), pb.NewBlock()
+	const i, c, a = 1, 2, 3
+	entry.Add(ir.MovI(i, 0))
+	entry.Jmp(head.ID())
+	head.Add(ir.CmpLTI(c, i, 60))
+	head.Br(c, first.ID(), exit.ID())
+	first.Add(ir.AndI(a, i, 1), ir.CmpEQI(c, a, 0))
+	first.Br(c, t1.ID(), f1.ID())
+	t1.Jmp(mid.ID())
+	f1.Jmp(mid.ID())
+	mid.Add(ir.CmpEQI(c, a, 0))
+	mid.Br(c, t2.ID(), f2.ID())
+	t2.Jmp(latch.ID())
+	f2.Jmp(latch.ID())
+	latch.Add(ir.AddI(i, i, 1))
+	latch.Jmp(head.ID())
+	exit.Ret(i)
+	prog := bd.Finish()
+
+	fp := NewForwardPathProfiler(prog, PathConfig{})
+	if _, err := interp.Run(prog, interp.Config{Observer: fp}); err != nil {
+		t.Fatal(err)
+	}
+	f := fp.Profile()
+	// t1 (block 3) → mid (5) → t2 (6): perfectly correlated, and the
+	// whole sequence is forward, so the forward profile captures it.
+	if got := f.Freq(0, []ir.BlockID{3, 5, 6}); got != 30 {
+		t.Fatalf("correlated path freq = %d, want 30", got)
+	}
+	if got := f.Freq(0, []ir.BlockID{3, 5, 7}); got != 0 {
+		t.Fatalf("anti-correlated path freq = %d, want 0", got)
+	}
+}
+
+func TestForwardProfilerWorksWithFormationQueries(t *testing.T) {
+	// TrimToDepth and MostLikelyPathSuccessor behave identically; only
+	// the recorded windows differ. A forward profile can thus drive the
+	// path-based selector (an experiment the paper's framework allows).
+	prog := loopProgF(30)
+	fp := NewForwardPathProfiler(prog, PathConfig{})
+	if _, err := interp.Run(prog, interp.Config{Observer: fp}); err != nil {
+		t.Fatal(err)
+	}
+	f := fp.Profile()
+	s, n := f.MostLikelyPathSuccessor(0, []ir.BlockID{1})
+	if s != 2 || n != 30 {
+		t.Fatalf("MLPS(head) = (b%d,%d), want (b2,30)", s, n)
+	}
+	// But after body, the forward profile has no successor: the only
+	// dynamic successor is via the back edge.
+	if s, n := f.MostLikelyPathSuccessor(0, []ir.BlockID{1, 2}); s != ir.NoBlock || n != 0 {
+		t.Fatalf("MLPS(head,body) = (b%d,%d), want none", s, n)
+	}
+}

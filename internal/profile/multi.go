@@ -1,0 +1,42 @@
+package profile
+
+import (
+	"pathsched/internal/interp"
+	"pathsched/internal/ir"
+)
+
+// Multi fans interpreter events out to several observers, so one
+// training run can feed the edge and path profilers simultaneously —
+// keeping both formation methods honest about using identical training
+// behaviour.
+type Multi []interp.Observer
+
+// EnterProc implements interp.Observer.
+func (m Multi) EnterProc(p ir.ProcID, entry ir.BlockID) {
+	for _, o := range m {
+		o.EnterProc(p, entry)
+	}
+}
+
+// ExitProc implements interp.Observer.
+func (m Multi) ExitProc(p ir.ProcID) {
+	for _, o := range m {
+		o.ExitProc(p)
+	}
+}
+
+// Edge implements interp.Observer.
+func (m Multi) Edge(p ir.ProcID, from, to ir.BlockID) {
+	for _, o := range m {
+		o.Edge(p, from, to)
+	}
+}
+
+// Block implements interp.Observer.
+func (m Multi) Block(p ir.ProcID, b ir.BlockID) {
+	for _, o := range m {
+		o.Block(p, b)
+	}
+}
+
+var _ interp.Observer = Multi(nil)

@@ -1,0 +1,390 @@
+package profile
+
+import (
+	"sort"
+
+	"pathsched/internal/ir"
+)
+
+// PathConfig parameterizes general-path profiling.
+type PathConfig struct {
+	// Depth is the maximum number of conditional or multiway branches
+	// a path window may contain (paper: 15). Zero means DefaultDepth.
+	Depth int
+	// MaxBlocks caps a window's block length. Zero means
+	// DefaultMaxBlocks.
+	MaxBlocks int
+	// CrossActivation keeps one window per *procedure* rather than per
+	// activation: a recursive call interleaves its blocks into the
+	// caller's window instead of starting fresh. This approximates an
+	// instrumentation scheme with global per-procedure analysis state
+	// (plausibly the paper's, which observes a flat edge stream); the
+	// default per-activation windows are cleaner but see only very
+	// short histories in heavily recursive code such as li.
+	CrossActivation bool
+}
+
+func (c PathConfig) withDefaults() PathConfig {
+	if c.Depth == 0 {
+		c.Depth = DefaultDepth
+	}
+	if c.MaxBlocks == 0 {
+		c.MaxBlocks = DefaultMaxBlocks
+	}
+	return c
+}
+
+// pathNode is one lazily-created state of the path automaton: the
+// window of recently-executed blocks it represents, the number of
+// branch-terminated blocks inside that window, its execution count,
+// and successor pointers keyed by the next executed block.
+type pathNode struct {
+	seq      []ir.BlockID
+	branches int
+	count    int64
+	succ     map[ir.BlockID]*pathNode
+}
+
+// procPaths holds the automaton for one procedure. Nodes are interned
+// by window contents, so a loop that repeats the same paths reuses the
+// same nodes and total node count stays proportional to the number of
+// *distinct* paths — the paper's O(npaths + nedges) bound. The intern
+// table is consulted only on the first traversal of a transition;
+// afterwards the cached successor pointer makes the step O(1).
+type procPaths struct {
+	condBr []bool // per block: terminator is a conditional branch
+	roots  map[ir.BlockID]*pathNode
+	intern map[string]*pathNode
+	nodes  int // total distinct nodes, for overhead statistics
+}
+
+// PathProfiler is an interp.Observer implementing the efficient
+// general-path profiling algorithm of §3.1: it maintains the current
+// path node per activation and follows (or lazily creates) successor
+// pointers on each executed edge, so steady-state work per edge is a
+// single map probe.
+type PathProfiler struct {
+	cfg   PathConfig
+	procs []*procPaths
+
+	// stack holds the current path node per live activation; Enter and
+	// Exit events keep it aligned with the call stack, so recursion in
+	// the profiled program does not corrupt windows.
+	stack []*pathNode
+	// procStack mirrors stack with the owning procedure.
+	procStack []ir.ProcID
+	// prevStack mirrors stack with the previously executed block of
+	// each activation (NoBlock before the first).
+	prevStack []ir.BlockID
+
+	// procCur and procPrev replace the activation stack when
+	// CrossActivation is set: one cursor per procedure.
+	procCur  []*pathNode
+	procPrev []ir.BlockID
+
+	// forward, when true, truncates windows at loop back edges,
+	// turning the profiler into a forward-path profiler (see
+	// NewForwardPathProfiler). backEdges is per procedure.
+	forward   bool
+	backEdges []map[[2]ir.BlockID]bool
+
+	dynEdges int64
+}
+
+// NewPathProfiler returns a general-path profiler for prog.
+func NewPathProfiler(prog *ir.Program, cfg PathConfig) *PathProfiler {
+	cfg = cfg.withDefaults()
+	pp := &PathProfiler{cfg: cfg, procs: make([]*procPaths, len(prog.Procs))}
+	for i, p := range prog.Procs {
+		pp.procs[i] = &procPaths{
+			condBr: condBrMap(p),
+			roots:  map[ir.BlockID]*pathNode{},
+			intern: map[string]*pathNode{},
+		}
+	}
+	if cfg.CrossActivation {
+		pp.procCur = make([]*pathNode, len(prog.Procs))
+		pp.procPrev = make([]ir.BlockID, len(prog.Procs))
+		for i := range pp.procPrev {
+			pp.procPrev[i] = ir.NoBlock
+		}
+	}
+	return pp
+}
+
+// EnterProc implements interp.Observer.
+func (pp *PathProfiler) EnterProc(p ir.ProcID, entry ir.BlockID) {
+	pp.stack = append(pp.stack, nil)
+	pp.procStack = append(pp.procStack, p)
+	pp.prevStack = append(pp.prevStack, ir.NoBlock)
+}
+
+// ExitProc implements interp.Observer.
+func (pp *PathProfiler) ExitProc(p ir.ProcID) {
+	n := len(pp.stack)
+	if n == 0 {
+		return
+	}
+	pp.stack = pp.stack[:n-1]
+	pp.procStack = pp.procStack[:n-1]
+	pp.prevStack = pp.prevStack[:n-1]
+}
+
+// Edge implements interp.Observer. All window extension happens in
+// Block events; edges only feed the overhead statistic.
+func (pp *PathProfiler) Edge(p ir.ProcID, from, to ir.BlockID) { pp.dynEdges++ }
+
+// Block implements interp.Observer: extend the current window by b and
+// count the resulting path. The window cursor lives per activation by
+// default, or per procedure under CrossActivation.
+func (pp *PathProfiler) Block(p ir.ProcID, b ir.BlockID) {
+	var cur *pathNode
+	var prev ir.BlockID
+	if pp.procCur != nil {
+		cur, prev = pp.procCur[p], pp.procPrev[p]
+	} else {
+		top := len(pp.stack) - 1
+		if top < 0 || pp.procStack[top] != p {
+			return // events from an unmatched activation; ignore defensively
+		}
+		cur, prev = pp.stack[top], pp.prevStack[top]
+	}
+	st := pp.procs[p]
+	if pp.forward && cur != nil {
+		// Forward paths end at back edges: crossing one starts a new
+		// window at b.
+		if prev != ir.NoBlock && pp.backEdges[p][[2]ir.BlockID{prev, b}] {
+			cur = nil
+		}
+	}
+	var nxt *pathNode
+	if cur == nil {
+		nxt = st.roots[b]
+		if nxt == nil {
+			nxt = st.internNode([]ir.BlockID{b})
+			st.roots[b] = nxt
+		}
+	} else {
+		nxt = cur.succ[b]
+		if nxt == nil {
+			nxt = st.internNode(pp.extend(st, cur, b))
+			if cur.succ == nil {
+				cur.succ = map[ir.BlockID]*pathNode{}
+			}
+			cur.succ[b] = nxt
+		}
+	}
+	nxt.count++
+	if pp.procCur != nil {
+		pp.procCur[p] = nxt
+		pp.procPrev[p] = b
+	} else {
+		top := len(pp.stack) - 1
+		pp.stack[top] = nxt
+		pp.prevStack[top] = b
+	}
+}
+
+// extend computes the window that follows cur when block b executes:
+// append b, then trim from the front until the window respects both
+// the branch-depth bound and the block-length cap.
+func (pp *PathProfiler) extend(st *procPaths, cur *pathNode, b ir.BlockID) []ir.BlockID {
+	seq := make([]ir.BlockID, 0, len(cur.seq)+1)
+	seq = append(seq, cur.seq...)
+	seq = append(seq, b)
+	branches := cur.branches
+	if st.condBr[b] {
+		branches++
+	}
+	start := 0
+	for branches > pp.cfg.Depth || len(seq)-start > pp.cfg.MaxBlocks {
+		if st.condBr[seq[start]] {
+			branches--
+		}
+		start++
+	}
+	return seq[start:]
+}
+
+// internNode returns the unique node for the given window, creating it
+// on first sight.
+func (st *procPaths) internNode(seq []ir.BlockID) *pathNode {
+	key := seqKey(seq)
+	if nd := st.intern[key]; nd != nil {
+		return nd
+	}
+	branches := 0
+	for _, b := range seq {
+		if st.condBr[b] {
+			branches++
+		}
+	}
+	st.nodes++
+	nd := &pathNode{seq: seq, branches: branches}
+	st.intern[key] = nd
+	return nd
+}
+
+// Stats reports profiling overhead: distinct path nodes created and
+// dynamic edges observed. The paper's efficiency argument is that
+// nodes ≪ edges in steady state.
+func (pp *PathProfiler) Stats() (nodes int, dynEdges int64) {
+	for _, st := range pp.procs {
+		nodes += st.nodes
+	}
+	return nodes, pp.dynEdges
+}
+
+// Profile freezes the gathered data into a queryable PathProfile,
+// building the per-procedure suffix index: every recorded window
+// contributes its count to each of its suffixes, so Freq answers exact
+// dynamic occurrence counts for any sequence within the profiled depth.
+func (pp *PathProfiler) Profile() *PathProfile {
+	out := &PathProfile{cfg: pp.cfg, procs: make([]*procPathIndex, len(pp.procs))}
+	for i, st := range pp.procs {
+		idx := &procPathIndex{
+			condBr: st.condBr,
+			freq:   map[string]int64{},
+			succs:  map[string]map[ir.BlockID]int64{},
+		}
+		keys := make([]string, 0, len(st.intern))
+		for k := range st.intern {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys) // determinism for any iteration-order effects
+		for _, k := range keys {
+			n := st.intern[k]
+			if n.count == 0 {
+				continue
+			}
+			for s := 0; s < len(n.seq); s++ {
+				suffix := n.seq[s:]
+				idx.freq[seqKey(suffix)] += n.count
+				if len(suffix) >= 2 {
+					// Record "suffix minus last block, extended by the
+					// last block" so most-likely-path-successor queries
+					// can enumerate candidates without consulting the
+					// CFG.
+					head := suffix[:len(suffix)-1]
+					last := suffix[len(suffix)-1]
+					hk := seqKey(head)
+					sm := idx.succs[hk]
+					if sm == nil {
+						sm = map[ir.BlockID]int64{}
+						idx.succs[hk] = sm
+					}
+					sm[last] += n.count
+				}
+			}
+			idx.windows += n.count
+			idx.distinct++
+		}
+		out.procs[i] = idx
+	}
+	return out
+}
+
+// procPathIndex is the frozen per-procedure query structure.
+type procPathIndex struct {
+	condBr   []bool
+	freq     map[string]int64
+	succs    map[string]map[ir.BlockID]int64
+	windows  int64 // total windows recorded (= dynamic blocks observed)
+	distinct int   // distinct windows
+}
+
+// PathProfile answers exact path-frequency queries (paper §2.2).
+type PathProfile struct {
+	cfg   PathConfig
+	procs []*procPathIndex
+}
+
+// Depth returns the branch-depth bound the profile was gathered with.
+func (pf *PathProfile) Depth() int { return pf.cfg.Depth }
+
+// Freq returns the exact number of times the contiguous block sequence
+// seq executed in procedure p, provided seq fits within the profiling
+// depth (use TrimToDepth first for longer sequences). Sequences beyond
+// the profiled depth return 0.
+func (pf *PathProfile) Freq(p ir.ProcID, seq []ir.BlockID) int64 {
+	if len(seq) == 0 {
+		return 0
+	}
+	return pf.procs[p].freq[seqKey(seq)]
+}
+
+// BlockFreq returns the execution count of a single block.
+func (pf *PathProfile) BlockFreq(p ir.ProcID, b ir.BlockID) int64 {
+	return pf.Freq(p, []ir.BlockID{b})
+}
+
+// EdgeFreq returns the execution count of the CFG edge from→to,
+// derived from the path data (a point statistic is a sum of paths).
+func (pf *PathProfile) EdgeFreq(p ir.ProcID, from, to ir.BlockID) int64 {
+	return pf.Freq(p, []ir.BlockID{from, to})
+}
+
+// SuccFreqs returns the observed one-block extensions of seq and their
+// exact frequencies: for each block s that ever executed immediately
+// after seq, the count of seq·s. The caller must pass a sequence
+// already within depth.
+func (pf *PathProfile) SuccFreqs(p ir.ProcID, seq []ir.BlockID) map[ir.BlockID]int64 {
+	return pf.procs[p].succs[seqKey(seq)]
+}
+
+// MostLikelyPathSuccessor implements the paper's Figure 2 primitive:
+// the successor block s maximizing f(seq·s), with its frequency.
+// Returns (NoBlock, 0) when seq was never extended. Ties break toward
+// the smallest block id for determinism.
+func (pf *PathProfile) MostLikelyPathSuccessor(p ir.ProcID, seq []ir.BlockID) (ir.BlockID, int64) {
+	return argmax(pf.SuccFreqs(p, seq))
+}
+
+// TrimToDepth returns the longest suffix of seq whose conditional
+// branch count is within the profiling depth and whose length is
+// within the window cap — the "longest suffix of the superblock for
+// which we have exact frequencies" from §2.2. One branch slot is
+// reserved so the suffix can still be extended by one block.
+func (pf *PathProfile) TrimToDepth(p ir.ProcID, seq []ir.BlockID) []ir.BlockID {
+	condBr := pf.procs[p].condBr
+	branches := 0
+	for _, b := range seq {
+		if int(b) < len(condBr) && condBr[b] {
+			branches++
+		}
+	}
+	start := 0
+	for branches > pf.cfg.Depth-1 || len(seq)-start > pf.cfg.MaxBlocks-1 {
+		if start >= len(seq) {
+			break
+		}
+		if int(seq[start]) < len(condBr) && condBr[seq[start]] {
+			branches--
+		}
+		start++
+	}
+	return seq[start:]
+}
+
+// Windows returns (total, distinct) recorded windows for procedure p.
+func (pf *PathProfile) Windows(p ir.ProcID) (int64, int) {
+	return pf.procs[p].windows, pf.procs[p].distinct
+}
+
+// BlocksByFreq returns p's executed blocks in decreasing frequency
+// order, the seed order for path-based trace selection.
+func (pf *PathProfile) BlocksByFreq(p ir.ProcID) []ir.BlockID {
+	idx := pf.procs[p]
+	count := map[ir.BlockID]int64{}
+	for b := range idx.condBr {
+		if f := pf.BlockFreq(p, ir.BlockID(b)); f > 0 {
+			count[ir.BlockID(b)] = f
+		}
+	}
+	out := make([]ir.BlockID, 0, len(count))
+	for b := range count {
+		out = append(out, b)
+	}
+	sortBlocksByCount(out, count)
+	return out
+}

@@ -1,0 +1,232 @@
+package profile
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"pathsched/internal/ir"
+)
+
+// Profile serialization: a line-oriented text format so training runs
+// can be decoupled from compilation (profile on one invocation, form
+// superblocks in another — the usual profile-guided build workflow).
+//
+// Edge profiles:
+//
+//	edgeprofile
+//	proc <id> entries=<n>
+//	block b<i>: <count>
+//	edge b<i>->b<j>: <count>
+//
+// Path profiles serialize the distinct windows the profiler recorded
+// (not the derived suffix index, which is reconstructed on load):
+//
+//	pathprofile depth=<d> maxblocks=<m>
+//	proc <id>
+//	path <count>: b<i> b<j> ...
+
+// WriteText serializes an edge profile.
+func (e *EdgeProfile) WriteText() string {
+	var sb strings.Builder
+	sb.WriteString("edgeprofile\n")
+	for pid, pe := range e.procs {
+		fmt.Fprintf(&sb, "proc %d entries=%d\n", pid, pe.entries)
+		ids := make([]ir.BlockID, 0, len(pe.blockCount))
+		for b := range pe.blockCount {
+			ids = append(ids, b)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, b := range ids {
+			fmt.Fprintf(&sb, "block b%d: %d\n", b, pe.blockCount[b])
+		}
+		froms := make([]ir.BlockID, 0, len(pe.succCount))
+		for f := range pe.succCount {
+			froms = append(froms, f)
+		}
+		sort.Slice(froms, func(i, j int) bool { return froms[i] < froms[j] })
+		for _, f := range froms {
+			tos := make([]ir.BlockID, 0, len(pe.succCount[f]))
+			for t := range pe.succCount[f] {
+				tos = append(tos, t)
+			}
+			sort.Slice(tos, func(i, j int) bool { return tos[i] < tos[j] })
+			for _, t := range tos {
+				fmt.Fprintf(&sb, "edge b%d->b%d: %d\n", f, t, pe.succCount[f][t])
+			}
+		}
+	}
+	return sb.String()
+}
+
+// ParseEdgeProfile reads the text form back. nprocs sizes the profile
+// (use len(prog.Procs)).
+func ParseEdgeProfile(nprocs int, text string) (*EdgeProfile, error) {
+	ep := NewEdgeProfiler(&ir.Program{Procs: make([]*ir.Proc, nprocs)})
+	var cur *procEdges
+	lines := strings.Split(text, "\n")
+	if len(lines) == 0 || strings.TrimSpace(lines[0]) != "edgeprofile" {
+		return nil, fmt.Errorf("profile: missing edgeprofile header")
+	}
+	for no, raw := range lines[1:] {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "proc "):
+			fields := strings.Fields(line)
+			if len(fields) != 3 || !strings.HasPrefix(fields[2], "entries=") {
+				return nil, fmt.Errorf("profile: line %d: malformed proc line", no+2)
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil || id < 0 || id >= nprocs {
+				return nil, fmt.Errorf("profile: line %d: bad proc id", no+2)
+			}
+			n, err := strconv.ParseInt(fields[2][len("entries="):], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("profile: line %d: bad entries", no+2)
+			}
+			cur = ep.procs[id]
+			cur.entries = n
+		case strings.HasPrefix(line, "block "):
+			if cur == nil {
+				return nil, fmt.Errorf("profile: line %d: block before proc", no+2)
+			}
+			var b ir.BlockID
+			var n int64
+			if _, err := fmt.Sscanf(line, "block b%d: %d", &b, &n); err != nil {
+				return nil, fmt.Errorf("profile: line %d: %v", no+2, err)
+			}
+			cur.blockCount[b] = n
+		case strings.HasPrefix(line, "edge "):
+			if cur == nil {
+				return nil, fmt.Errorf("profile: line %d: edge before proc", no+2)
+			}
+			var f, t ir.BlockID
+			var n int64
+			if _, err := fmt.Sscanf(line, "edge b%d->b%d: %d", &f, &t, &n); err != nil {
+				return nil, fmt.Errorf("profile: line %d: %v", no+2, err)
+			}
+			if cur.succCount[f] == nil {
+				cur.succCount[f] = map[ir.BlockID]int64{}
+			}
+			cur.succCount[f][t] = n
+			if cur.predCount[t] == nil {
+				cur.predCount[t] = map[ir.BlockID]int64{}
+			}
+			cur.predCount[t][f] = n
+		default:
+			return nil, fmt.Errorf("profile: line %d: unrecognized %q", no+2, line)
+		}
+	}
+	return ep.Profile(), nil
+}
+
+// WriteText serializes the profiler's recorded windows.
+func (pp *PathProfiler) WriteText() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "pathprofile depth=%d maxblocks=%d\n", pp.cfg.Depth, pp.cfg.MaxBlocks)
+	for pid, st := range pp.procs {
+		if len(st.intern) == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, "proc %d\n", pid)
+		keys := make([]string, 0, len(st.intern))
+		for k := range st.intern {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			nd := st.intern[k]
+			if nd.count == 0 {
+				continue
+			}
+			fmt.Fprintf(&sb, "path %d:", nd.count)
+			for _, b := range nd.seq {
+				fmt.Fprintf(&sb, " b%d", b)
+			}
+			sb.WriteString("\n")
+		}
+	}
+	return sb.String()
+}
+
+// ParsePathProfile reads a serialized path profile back into a
+// queryable PathProfile. prog supplies the branch classification
+// TrimToDepth depends on.
+func ParsePathProfile(prog *ir.Program, text string) (*PathProfile, error) {
+	lines := strings.Split(text, "\n")
+	if len(lines) == 0 || !strings.HasPrefix(strings.TrimSpace(lines[0]), "pathprofile") {
+		return nil, fmt.Errorf("profile: missing pathprofile header")
+	}
+	cfg := PathConfig{}
+	for _, f := range strings.Fields(lines[0])[1:] {
+		switch {
+		case strings.HasPrefix(f, "depth="):
+			v, err := strconv.Atoi(f[len("depth="):])
+			if err != nil {
+				return nil, fmt.Errorf("profile: bad depth %q", f)
+			}
+			cfg.Depth = v
+		case strings.HasPrefix(f, "maxblocks="):
+			v, err := strconv.Atoi(f[len("maxblocks="):])
+			if err != nil {
+				return nil, fmt.Errorf("profile: bad maxblocks %q", f)
+			}
+			cfg.MaxBlocks = v
+		default:
+			return nil, fmt.Errorf("profile: unknown header field %q", f)
+		}
+	}
+	pp := NewPathProfiler(prog, cfg)
+	curProc := -1
+	for no, raw := range lines[1:] {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "proc "):
+			id, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(line, "proc ")))
+			if err != nil || id < 0 || id >= len(pp.procs) {
+				return nil, fmt.Errorf("profile: line %d: bad proc id", no+2)
+			}
+			curProc = id
+		case strings.HasPrefix(line, "path "):
+			if curProc < 0 {
+				return nil, fmt.Errorf("profile: line %d: path before proc", no+2)
+			}
+			rest := strings.TrimPrefix(line, "path ")
+			colon := strings.IndexByte(rest, ':')
+			if colon < 0 {
+				return nil, fmt.Errorf("profile: line %d: malformed path", no+2)
+			}
+			count, err := strconv.ParseInt(strings.TrimSpace(rest[:colon]), 10, 64)
+			if err != nil || count < 0 {
+				return nil, fmt.Errorf("profile: line %d: bad count", no+2)
+			}
+			var seq []ir.BlockID
+			for _, f := range strings.Fields(rest[colon+1:]) {
+				if !strings.HasPrefix(f, "b") {
+					return nil, fmt.Errorf("profile: line %d: bad block %q", no+2, f)
+				}
+				v, err := strconv.ParseInt(f[1:], 10, 32)
+				if err != nil {
+					return nil, fmt.Errorf("profile: line %d: bad block %q", no+2, f)
+				}
+				seq = append(seq, ir.BlockID(v))
+			}
+			if len(seq) == 0 {
+				return nil, fmt.Errorf("profile: line %d: empty path", no+2)
+			}
+			st := pp.procs[curProc]
+			nd := st.internNode(seq)
+			nd.count += count
+		default:
+			return nil, fmt.Errorf("profile: line %d: unrecognized %q", no+2, line)
+		}
+	}
+	return pp.Profile(), nil
+}

@@ -1,0 +1,160 @@
+package profile
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"pathsched/internal/interp"
+	"pathsched/internal/ir"
+)
+
+func TestEdgeProfileRoundTrip(t *testing.T) {
+	prog := chainProg([]bool{true, true, false, true})
+	ep := NewEdgeProfiler(prog)
+	rng := rand.New(rand.NewSource(9))
+	for a := 0; a < 5; a++ {
+		feedWalk(ep, legalWalk(prog, rng, 40))
+	}
+	orig := ep.Profile()
+	text := orig.WriteText()
+	back, err := ParseEdgeProfile(len(prog.Procs), text)
+	if err != nil {
+		t.Fatalf("ParseEdgeProfile: %v\n%s", err, text)
+	}
+	if back.Entries(0) != orig.Entries(0) {
+		t.Fatal("entries diverged")
+	}
+	for b := ir.BlockID(0); b < 4; b++ {
+		if back.BlockFreq(0, b) != orig.BlockFreq(0, b) {
+			t.Fatalf("block b%d diverged", b)
+		}
+		for to := ir.BlockID(0); to < 4; to++ {
+			if back.EdgeFreq(0, b, to) != orig.EdgeFreq(0, b, to) {
+				t.Fatalf("edge b%d->b%d diverged", b, to)
+			}
+		}
+		s1, f1 := orig.MostLikelySucc(0, b)
+		s2, f2 := back.MostLikelySucc(0, b)
+		if s1 != s2 || f1 != f2 {
+			t.Fatalf("MostLikelySucc(b%d) diverged", b)
+		}
+		p1, g1 := orig.MostLikelyPred(0, b)
+		p2, g2 := back.MostLikelyPred(0, b)
+		if p1 != p2 || g1 != g2 {
+			t.Fatalf("MostLikelyPred(b%d) diverged", b)
+		}
+	}
+}
+
+func TestPathProfileRoundTrip(t *testing.T) {
+	prog := chainProg([]bool{true, false, true, true, false})
+	pp := NewPathProfiler(prog, PathConfig{Depth: 4, MaxBlocks: 10})
+	rng := rand.New(rand.NewSource(17))
+	var walks [][]ir.BlockID
+	for a := 0; a < 6; a++ {
+		w := legalWalk(prog, rng, 60)
+		walks = append(walks, w)
+		feedWalk(pp, w)
+	}
+	orig := pp.Profile()
+	text := pp.WriteText()
+	back, err := ParsePathProfile(prog, text)
+	if err != nil {
+		t.Fatalf("ParsePathProfile: %v", err)
+	}
+	if back.Depth() != 4 {
+		t.Fatalf("depth = %d, want 4", back.Depth())
+	}
+	for _, w := range walks {
+		for s := 0; s < len(w); s++ {
+			for l := 1; l <= 5 && s+l <= len(w); l++ {
+				seq := w[s : s+l]
+				if orig.Freq(0, seq) != back.Freq(0, seq) {
+					t.Fatalf("Freq(%s) diverged: %d vs %d",
+						FmtSeq(seq), orig.Freq(0, seq), back.Freq(0, seq))
+				}
+			}
+		}
+	}
+}
+
+func TestPathProfileRoundTripOnRealRun(t *testing.T) {
+	bd := ir.NewBuilder("loop", 8)
+	pb := bd.Proc("main")
+	entry, head, body, exit := pb.NewBlock(), pb.NewBlock(), pb.NewBlock(), pb.NewBlock()
+	entry.Add(ir.MovI(1, 0))
+	entry.Jmp(head.ID())
+	head.Add(ir.CmpLTI(2, 1, 40))
+	head.Br(2, body.ID(), exit.ID())
+	body.Add(ir.AddI(1, 1, 1))
+	body.Jmp(head.ID())
+	exit.Ret(1)
+	prog := bd.Finish()
+
+	pp := NewPathProfiler(prog, PathConfig{})
+	if _, err := interp.Run(prog, interp.Config{Observer: pp}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParsePathProfile(prog, pp.WriteText())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := back.Freq(0, []ir.BlockID{1, 2, 1, 2}); got != 39 {
+		t.Fatalf("two-iteration freq after round trip = %d, want 39", got)
+	}
+}
+
+func TestProfileParseErrors(t *testing.T) {
+	prog := chainProg([]bool{true, true})
+	edgeCases := []string{
+		"",
+		"wrongheader\n",
+		"edgeprofile\nblock b0: 5\n", // block before proc
+		"edgeprofile\nproc 99 entries=1\n",
+		"edgeprofile\nproc 0 entries=x\n",
+		"edgeprofile\nproc 0 entries=1\nnonsense\n",
+	}
+	for _, text := range edgeCases {
+		if _, err := ParseEdgeProfile(1, text); err == nil {
+			t.Errorf("edge parse accepted %q", text)
+		}
+	}
+	pathCases := []string{
+		"",
+		"edgeprofile\n",
+		"pathprofile depth=zz\n",
+		"pathprofile depth=4 maxblocks=8\npath 5: b0\n", // path before proc
+		"pathprofile depth=4 maxblocks=8\nproc 0\npath x: b0\n",
+		"pathprofile depth=4 maxblocks=8\nproc 0\npath 5:\n",
+		"pathprofile depth=4 maxblocks=8\nproc 7\n",
+	}
+	for _, text := range pathCases {
+		if _, err := ParsePathProfile(prog, text); err == nil {
+			t.Errorf("path parse accepted %q", text)
+		}
+	}
+}
+
+func TestProfileTextIsStable(t *testing.T) {
+	// Serialization must be deterministic (sorted) so diffs are usable.
+	prog := chainProg([]bool{true, true, true})
+	mk := func() (string, string) {
+		ep := NewEdgeProfiler(prog)
+		pp := NewPathProfiler(prog, PathConfig{Depth: 3})
+		rng := rand.New(rand.NewSource(5))
+		for a := 0; a < 4; a++ {
+			w := legalWalk(prog, rng, 30)
+			feedWalk(Multi{ep, pp}, w)
+		}
+		return ep.Profile().WriteText(), pp.WriteText()
+	}
+	e1, p1 := mk()
+	e2, p2 := mk()
+	if e1 != e2 || p1 != p2 {
+		t.Fatal("profile serialization is not deterministic")
+	}
+	if !strings.Contains(p1, "pathprofile depth=3") {
+		t.Fatalf("header malformed:\n%s", p1)
+	}
+}

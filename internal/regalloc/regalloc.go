@@ -1,0 +1,138 @@
+// Package regalloc maps the virtual registers that renaming introduces
+// back onto the 128-register architected file, mirroring the paper's
+// preschedule (infinite registers) → allocate → postschedule flow
+// (§2.3). Virtual registers are single-assignment and never live
+// across block boundaries, so a linear scan over the scheduled linear
+// order suffices.
+package regalloc
+
+import (
+	"fmt"
+	"sort"
+
+	"pathsched/internal/ir"
+)
+
+// FreePool returns the physical registers that appear nowhere in the
+// procedure's architectural (pre-renaming) code: those are safe homes
+// for block-local virtuals. The pool is shared by all blocks of the
+// procedure — virtuals never outlive their block, so reuse across
+// blocks is free.
+func FreePool(p *ir.Proc) []ir.Reg {
+	used := make([]bool, ir.PhysRegs)
+	mark := func(r ir.Reg) {
+		if r >= 0 && r < ir.VirtBase {
+			used[r] = true
+		}
+	}
+	for _, b := range p.Blocks {
+		for i := range b.Instrs {
+			ins := &b.Instrs[i]
+			mark(ins.Dst)
+			mark(ins.Src1)
+			mark(ins.Src2)
+			for _, a := range ins.Args {
+				mark(a)
+			}
+		}
+	}
+	var pool []ir.Reg
+	for r := ir.Reg(0); r < ir.VirtBase; r++ {
+		if !used[r] {
+			pool = append(pool, r)
+		}
+	}
+	return pool
+}
+
+// AssignVirtuals rewrites every virtual register in b onto registers
+// from pool using linear-scan allocation over the block's instruction
+// order. It fails when live virtual pressure exceeds the pool — the
+// caller then falls back to compaction without renaming.
+func AssignVirtuals(b *ir.Block, pool []ir.Reg) error {
+	// Interval ends: last position reading each virtual.
+	lastUse := map[ir.Reg]int{}
+	var buf []ir.Reg
+	for i := range b.Instrs {
+		buf = b.Instrs[i].Uses(buf[:0])
+		for _, u := range buf {
+			if u.IsVirtual() {
+				lastUse[u] = i
+			}
+		}
+	}
+
+	free := append([]ir.Reg(nil), pool...)
+	assign := map[ir.Reg]ir.Reg{}
+	type active struct {
+		virt ir.Reg
+		end  int
+	}
+	var live []active
+
+	expire := func(pos int) {
+		kept := live[:0]
+		for _, a := range live {
+			if a.end < pos {
+				free = append(free, assign[a.virt])
+			} else {
+				kept = append(kept, a)
+			}
+		}
+		live = kept
+	}
+
+	rewrite := func(r *ir.Reg) {
+		if r.IsVirtual() {
+			if phys, ok := assign[*r]; ok {
+				*r = phys
+			}
+		}
+	}
+
+	for i := range b.Instrs {
+		expire(i)
+		ins := &b.Instrs[i]
+		// Uses first (they read values defined earlier).
+		rewrite(&ins.Src1)
+		rewrite(&ins.Src2)
+		for ai := range ins.Args {
+			rewrite(&ins.Args[ai])
+		}
+		// Then the def.
+		if ins.HasDst() && ins.Dst.IsVirtual() {
+			v := ins.Dst
+			if _, dup := assign[v]; dup {
+				return fmt.Errorf("regalloc: virtual %v defined twice", v)
+			}
+			if len(free) == 0 {
+				return fmt.Errorf("regalloc: out of registers at instruction %d (pool %d)", i, len(pool))
+			}
+			// Deterministic choice: smallest-numbered free register.
+			sort.Slice(free, func(a, b int) bool { return free[a] < free[b] })
+			phys := free[0]
+			free = free[1:]
+			assign[v] = phys
+			end, used := lastUse[v]
+			if !used || end < i {
+				end = i // dead def: release immediately on next expire
+			}
+			live = append(live, active{virt: v, end: end})
+			ins.Dst = phys
+		}
+	}
+
+	// Nothing virtual may survive.
+	for i := range b.Instrs {
+		ins := &b.Instrs[i]
+		if ins.Dst.IsVirtual() || ins.Src1.IsVirtual() || ins.Src2.IsVirtual() {
+			return fmt.Errorf("regalloc: unresolved virtual in %v", *ins)
+		}
+		for _, a := range ins.Args {
+			if a.IsVirtual() {
+				return fmt.Errorf("regalloc: unresolved virtual arg in %v", *ins)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,282 @@
+// Package sched is the superblock compaction pass (the paper's
+// "compact", §2.3): it merges each superblock into a single extended
+// block, performs dead-code elimination and the three renaming forms,
+// top-down cycle schedules the result for the experimental VLIW, maps
+// virtual registers back onto the architected file, and annotates the
+// code with issue cycles so the interpreter can measure cycle counts —
+// including the cost of early exits.
+//
+// Exactly as in the paper, the same compaction runs on superblocks from
+// edge-based and path-based formation; only the form pass differs.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"pathsched/internal/core"
+	"pathsched/internal/ir"
+	"pathsched/internal/machine"
+	"pathsched/internal/regalloc"
+)
+
+// Options configures compaction.
+type Options struct {
+	// Machine is the resource/latency model (default: machine.Default).
+	Machine machine.Config
+	// DisableRenaming turns off all renaming (for ablation studies).
+	DisableRenaming bool
+	// DisableDCE turns off dead-code elimination (for ablation).
+	DisableDCE bool
+	// DisableVN turns off local value numbering (for ablation). Value
+	// numbering requires renaming and is skipped automatically when
+	// renaming is off.
+	DisableVN bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Machine.FuncUnits == 0 {
+		o.Machine = machine.Default()
+	}
+	return o
+}
+
+// Compact schedules every superblock of res in place: after it
+// returns, each superblock is a single merged block carrying Cycles,
+// Span, SBSize, and ExitUnits annotations, dead constituent blocks are
+// removed, and res.Superblocks reflects the new block ids.
+func Compact(res *core.Result, opts Options) error {
+	opts = opts.withDefaults()
+	prog := res.Prog
+	for _, p := range prog.Procs {
+		sbs := res.Superblocks[p.ID]
+		live := LiveIn(p)
+		pool := regalloc.FreePool(p)
+		for _, sb := range sbs {
+			if err := compactSuperblock(p, sb, live, pool, opts); err != nil {
+				return fmt.Errorf("sched: %s sb%d: %w", p.Name, sb.ID, err)
+			}
+		}
+		if err := removeDeadBlocks(p, sbs); err != nil {
+			return fmt.Errorf("sched: %s: %w", p.Name, err)
+		}
+		res.Superblocks[p.ID] = sbs
+	}
+	if err := ir.Verify(prog); err != nil {
+		return fmt.Errorf("sched: compaction produced invalid IR: %w", err)
+	}
+	return nil
+}
+
+// CompactBasicBlocks schedules each reachable basic block of prog
+// independently on the same machine model — the paper's baseline
+// "basic-block scheduled" configuration (Table 1). Each block becomes
+// a singleton superblock.
+func CompactBasicBlocks(prog *ir.Program, opts Options) error {
+	res := &core.Result{Prog: prog, Superblocks: map[ir.ProcID][]*core.Superblock{}}
+	for _, p := range prog.Procs {
+		g := ir.NewCFG(p)
+		var sbs []*core.Superblock
+		for _, b := range p.Blocks {
+			if !g.Reachable(b.ID) {
+				continue
+			}
+			sbs = append(sbs, &core.Superblock{
+				ID:     len(sbs),
+				Proc:   p.ID,
+				Blocks: []ir.BlockID{b.ID},
+			})
+		}
+		res.Superblocks[p.ID] = sbs
+	}
+	return Compact(res, opts)
+}
+
+func compactSuperblock(p *ir.Proc, sb *core.Superblock, live []RegSet, pool []ir.Reg, opts Options) error {
+	nodes, err := mergeSuperblock(p, sb, live)
+	if err != nil {
+		return err
+	}
+	// An independent merged copy for the no-renaming fallback: rename
+	// mutates instruction operands in place, and install overwrites the
+	// head block the merge reads from.
+	fallback, err := mergeSuperblock(p, sb, live)
+	if err != nil {
+		return err
+	}
+	tryRename := !opts.DisableRenaming
+	final, cycles, span, err := scheduleNodes(p, nodes, tryRename, opts)
+	if err != nil {
+		return err
+	}
+	head := p.Block(sb.Blocks[0])
+	install(head, sb, final, cycles, span)
+	if tryRename {
+		// Register allocation; on pressure failure, retry without
+		// renaming (the fallback schedule is allocation-clean since it
+		// introduces no virtual registers).
+		if aerr := regalloc.AssignVirtuals(head, pool); aerr != nil {
+			final, cycles, span, err = scheduleNodes(p, fallback, false, opts)
+			if err != nil {
+				return err
+			}
+			install(head, sb, final, cycles, span)
+		}
+	}
+	sb.Blocks = sb.Blocks[:1]
+	return nil
+}
+
+// scheduleNodes runs DCE/renaming, builds the DDG, schedules, and
+// returns the nodes in final linear order with their cycles.
+func scheduleNodes(p *ir.Proc, nodes []node, doRename bool, opts Options) ([]node, []int32, int32, error) {
+	if doRename {
+		nodes = rename(p, nodes)
+		if !opts.DisableVN {
+			// Value numbering needs the single-assignment property that
+			// renaming establishes (§2.3's per-superblock VN + DCE).
+			nodes = valueNumber(nodes)
+		}
+	}
+	if !opts.DisableDCE {
+		nodes = eliminateDeadDefs(nodes)
+	}
+	g := buildDDG(nodes, opts.Machine)
+	cycles, span := listSchedule(nodes, g, opts.Machine)
+
+	// Linearize by (cycle, program order). Program order breaks ties so
+	// latency-0 pairs (WAR, control pins) execute correctly under the
+	// sequential interpreter.
+	order := make([]int, len(nodes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return cycles[order[a]] < cycles[order[b]] })
+
+	finalPos := make([]int, len(nodes))
+	for pos, idx := range order {
+		finalPos[idx] = pos
+	}
+	// Mark speculative loads: a load that now executes before an exit
+	// that originally preceded it has been hoisted above that exit and
+	// must not fault (§3.2's non-excepting instructions).
+	var exits []int
+	for i := range nodes {
+		if nodes[i].isExit {
+			exits = append(exits, i)
+		}
+	}
+	outNodes := make([]node, len(nodes))
+	outCycles := make([]int32, len(nodes))
+	for pos, idx := range order {
+		nd := nodes[idx]
+		if nd.ins.Op == ir.OpLoad {
+			for _, e := range exits {
+				if e < idx && finalPos[e] > pos {
+					nd.ins.Spec = true
+					break
+				}
+			}
+		}
+		outNodes[pos] = nd
+		outCycles[pos] = cycles[idx]
+	}
+	return outNodes, outCycles, span, nil
+}
+
+// eliminateDeadDefs is the per-superblock dead-code elimination of
+// §2.3: instructions without side effects whose virtual result is
+// never read are dropped, iterating until stable. Only virtual
+// destinations are candidates — architectural defs may be live outside
+// the superblock.
+func eliminateDeadDefs(nodes []node) []node {
+	for {
+		used := map[ir.Reg]bool{}
+		var buf []ir.Reg
+		for i := range nodes {
+			buf = nodes[i].ins.Uses(buf[:0])
+			for _, u := range buf {
+				used[u] = true
+			}
+		}
+		kept := nodes[:0]
+		removed := false
+		for i := range nodes {
+			nd := nodes[i]
+			dead := nd.ins.HasDst() && nd.ins.Dst.IsVirtual() && !used[nd.ins.Dst] &&
+				nd.ins.CanSpeculate() && !nd.isExit
+			if dead {
+				removed = true
+				continue
+			}
+			kept = append(kept, nd)
+		}
+		nodes = kept
+		if !removed {
+			return nodes
+		}
+	}
+}
+
+// install writes the merged schedule into the superblock's head block.
+func install(head *ir.Block, sb *core.Superblock, nodes []node, cycles []int32, span int32) {
+	head.Instrs = make([]ir.Instr, len(nodes))
+	head.ExitUnits = make([]int32, len(nodes))
+	for i := range nodes {
+		head.Instrs[i] = nodes[i].ins
+		if nodes[i].isExit {
+			head.ExitUnits[i] = int32(nodes[i].unit) + 1
+		}
+	}
+	head.Cycles = cycles
+	head.Span = span
+	head.SBSize = int32(len(sb.Blocks))
+	head.SBID = int32(sb.ID)
+	head.SBIndex = 0
+}
+
+// removeDeadBlocks drops blocks made unreachable by merging and
+// renumbers the survivors, rewriting every branch target and the
+// superblock lists. The entry block keeps id 0.
+func removeDeadBlocks(p *ir.Proc, sbs []*core.Superblock) error {
+	g := ir.NewCFG(p)
+	remap := make([]ir.BlockID, len(p.Blocks))
+	var kept []*ir.Block
+	for _, b := range p.Blocks {
+		if g.Reachable(b.ID) {
+			remap[b.ID] = ir.BlockID(len(kept))
+			kept = append(kept, b)
+		} else {
+			remap[b.ID] = ir.NoBlock
+		}
+	}
+	for _, b := range kept {
+		old := b.ID
+		b.ID = remap[old]
+		if b.Origin >= 0 && int(b.Origin) < len(remap) && remap[b.Origin] != ir.NoBlock {
+			b.Origin = remap[b.Origin]
+		} else {
+			b.Origin = b.ID // origin died; self-origin keeps the verifier happy
+		}
+		for i := range b.Instrs {
+			ins := &b.Instrs[i]
+			for j, t := range ins.Targets {
+				if t == ir.NoBlock {
+					continue
+				}
+				nt := remap[t]
+				if nt == ir.NoBlock {
+					return fmt.Errorf("block b%d targets dead block b%d", old, t)
+				}
+				ins.Targets[j] = nt
+			}
+		}
+	}
+	p.Blocks = kept
+	for _, sb := range sbs {
+		for i, b := range sb.Blocks {
+			sb.Blocks[i] = remap[b]
+		}
+	}
+	return nil
+}

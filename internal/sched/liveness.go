@@ -1,0 +1,98 @@
+package sched
+
+import "pathsched/internal/ir"
+
+// RegSet is a bitset over the 128 architected registers. Virtual
+// registers never cross block boundaries, so block-level liveness only
+// tracks physical names.
+type RegSet [2]uint64
+
+// Has reports membership. Virtual registers are never members.
+func (s RegSet) Has(r ir.Reg) bool {
+	if r >= ir.VirtBase {
+		return false
+	}
+	return s[r>>6]&(1<<(uint(r)&63)) != 0
+}
+
+// Add inserts a physical register (virtuals are ignored).
+func (s *RegSet) Add(r ir.Reg) {
+	if r >= ir.VirtBase {
+		return
+	}
+	s[r>>6] |= 1 << (uint(r) & 63)
+}
+
+// Remove deletes a register.
+func (s *RegSet) Remove(r ir.Reg) {
+	if r >= ir.VirtBase {
+		return
+	}
+	s[r>>6] &^= 1 << (uint(r) & 63)
+}
+
+// Union merges o into s and reports whether s changed.
+func (s *RegSet) Union(o RegSet) bool {
+	changed := false
+	for i := range s {
+		if n := s[i] | o[i]; n != s[i] {
+			s[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+// ForEach calls fn for every member, in increasing register order.
+func (s RegSet) ForEach(fn func(ir.Reg)) {
+	for w := 0; w < len(s); w++ {
+		bits := s[w]
+		for bits != 0 {
+			b := bits & (-bits)
+			idx := 0
+			for bb := b; bb > 1; bb >>= 1 {
+				idx++
+			}
+			fn(ir.Reg(w*64 + idx))
+			bits &^= b
+		}
+	}
+}
+
+// LiveIn computes, for every block of p, the set of physical registers
+// live on entry, via the standard backward dataflow. It is the
+// foundation of live-off-trace renaming: an exit branch conceptually
+// "uses" everything live into its targets, which is exactly what limits
+// (and after renaming enables) moving instructions above superblock
+// exits (§2.3).
+func LiveIn(p *ir.Proc) []RegSet {
+	n := len(p.Blocks)
+	liveIn := make([]RegSet, n)
+	// Iterate to fixpoint; reverse-ish order converges fast enough for
+	// our block counts.
+	var usesBuf []ir.Reg
+	for changed := true; changed; {
+		changed = false
+		for bi := n - 1; bi >= 0; bi-- {
+			b := p.Blocks[bi]
+			var live RegSet
+			for _, t := range b.Succs() {
+				live.Union(liveIn[t])
+			}
+			for i := len(b.Instrs) - 1; i >= 0; i-- {
+				ins := &b.Instrs[i]
+				if ins.HasDst() {
+					live.Remove(ins.Dst)
+				}
+				usesBuf = ins.Uses(usesBuf[:0])
+				for _, u := range usesBuf {
+					live.Add(u)
+				}
+			}
+			if liveIn[bi].Union(live) {
+				changed = true
+			}
+		}
+	}
+	return liveIn
+}

@@ -1,0 +1,107 @@
+package sched
+
+import (
+	"fmt"
+
+	"pathsched/internal/core"
+	"pathsched/internal/ir"
+)
+
+// node is one instruction of a merged superblock with the metadata the
+// renamer and scheduler need.
+type node struct {
+	ins  ir.Instr
+	unit int // index of the constituent block this came from
+
+	// isExit marks instructions that can transfer control out of the
+	// superblock (they retain at least one real target). liveOut is
+	// the union of the live-in sets of those targets: the registers
+	// whose values must be architecturally correct if this exit is
+	// taken.
+	isExit  bool
+	liveOut RegSet
+}
+
+// mergeSuperblock flattens sb's blocks into a single instruction
+// sequence. Internal fall-through edges become ir.NoBlock slots;
+// unconditional jumps (and degenerate branches) whose every target is
+// internal disappear entirely — the instruction-count saving that
+// branch target expansion and unrolling buy on real machines.
+func mergeSuperblock(p *ir.Proc, sb *core.Superblock, liveIn []RegSet) ([]node, error) {
+	var nodes []node
+	for i, bid := range sb.Blocks {
+		b := p.Block(bid)
+		lastBlock := i == len(sb.Blocks)-1
+		var next ir.BlockID = ir.NoBlock
+		if !lastBlock {
+			next = sb.Blocks[i+1]
+		}
+		for j := range b.Instrs {
+			ins := b.Instrs[j].Clone()
+			isTerm := j == len(b.Instrs)-1
+			if !isTerm {
+				if ins.Op.IsTerminator() {
+					return nil, fmt.Errorf("sched: %s/b%d has terminator mid-block before merging", p.Name, bid)
+				}
+				nodes = append(nodes, node{ins: ins, unit: i})
+				continue
+			}
+			if lastBlock {
+				n := node{ins: ins, unit: i, isExit: true}
+				for _, t := range ins.Targets {
+					n.liveOut.Union(liveIn[t])
+				}
+				nodes = append(nodes, n)
+				continue
+			}
+			// Internal terminator: retarget fall-through slots.
+			if ins.Op == ir.OpRet {
+				return nil, fmt.Errorf("sched: %s/b%d: ret cannot appear mid-superblock", p.Name, bid)
+			}
+			real := 0
+			for k, t := range ins.Targets {
+				if t == next {
+					ins.Targets[k] = ir.NoBlock
+				} else {
+					real++
+				}
+			}
+			if real == 0 {
+				if ins.Op == ir.OpCall {
+					// The call still runs; it just continues in-block.
+					nodes = append(nodes, node{ins: ins, unit: i})
+					continue
+				}
+				// Pure fall-through (jmp to next, or a degenerate
+				// branch): the merged code needs no instruction at all.
+				continue
+			}
+			if ins.Op == ir.OpJmp || ins.Op == ir.OpCall {
+				return nil, fmt.Errorf("sched: %s/b%d: %s to non-successor inside superblock", p.Name, bid, ins.Op)
+			}
+			if ins.Op == ir.OpBr {
+				// A branch must keep exactly one fall-through slot; if
+				// neither target was internal the superblock linkage is
+				// broken.
+				if ins.Targets[0] != ir.NoBlock && ins.Targets[1] != ir.NoBlock {
+					return nil, fmt.Errorf("sched: %s/b%d: br has no internal successor", p.Name, bid)
+				}
+			}
+			n := node{ins: ins, unit: i, isExit: true}
+			for _, t := range ins.Targets {
+				if t != ir.NoBlock {
+					n.liveOut.Union(liveIn[t])
+				}
+			}
+			nodes = append(nodes, n)
+		}
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("sched: superblock %d merged to nothing", sb.ID)
+	}
+	last := &nodes[len(nodes)-1]
+	if !last.ins.Op.IsTerminator() {
+		return nil, fmt.Errorf("sched: superblock %d does not end in a terminator", sb.ID)
+	}
+	return nodes, nil
+}

@@ -1,0 +1,112 @@
+package sched
+
+import "pathsched/internal/ir"
+
+// rename implements the three renaming forms of §2.3 in one unified
+// local pass over a merged superblock:
+//
+//   - Anti and output dependence renaming: every local definition gets
+//     a fresh virtual register, so WAR and WAW hazards between renamed
+//     names vanish and the scheduler sees only true dependences.
+//   - Live off-trace renaming: because speculative results land in
+//     virtual registers, an instruction hoisted above an exit can no
+//     longer clobber a value the off-trace path needs; architectural
+//     registers are re-materialized by repair copies placed just
+//     before each exit that needs them ("bookkeeping" code).
+//   - Move renaming: copies are absorbed into the rename map — a use
+//     of a move's destination reads the move's source directly, and
+//     the move itself disappears unless an exit needs the value, in
+//     which case the repair copy takes its place.
+//
+// Renaming never touches the final terminator's destination (a final
+// call must deposit its result in the architectural register its
+// off-superblock continuation reads).
+func rename(p *ir.Proc, nodes []node) []node {
+	cur := map[ir.Reg]ir.Reg{}      // architectural reg -> current name
+	repaired := map[ir.Reg]ir.Reg{} // arch reg -> name it currently holds
+
+	nameOf := func(r ir.Reg) ir.Reg {
+		if v, ok := cur[r]; ok {
+			return v
+		}
+		return r
+	}
+
+	out := make([]node, 0, len(nodes)+8)
+	for i := range nodes {
+		n := nodes[i]
+		final := i == len(nodes)-1
+
+		// Rewrite uses to current names.
+		rewriteUses(&n.ins, nameOf)
+
+		// Before an exit, restore every architectural register its
+		// targets may read.
+		if n.isExit {
+			var copies []node
+			n.liveOut.ForEach(func(r ir.Reg) {
+				want := nameOf(r)
+				have, ok := repaired[r]
+				if !ok {
+					have = r
+				}
+				if want == have {
+					return
+				}
+				copies = append(copies, node{ins: ir.Mov(r, want), unit: n.unit})
+				repaired[r] = want
+			})
+			out = append(out, copies...)
+		}
+
+		// Move renaming: a copy whose (renamed) source is a virtual
+		// register is absorbed by the rename map. Virtuals are
+		// single-assignment, so the aliasing is sound. A copy from an
+		// architectural register must NOT be absorbed: a later repair
+		// copy may legitimately overwrite that register, which would
+		// silently retarget every absorbed use — instead it is renamed
+		// like any other definition below.
+		if n.ins.Op == ir.OpMov && !final && n.ins.Src1.IsVirtual() {
+			cur[n.ins.Dst] = n.ins.Src1
+			continue
+		}
+
+		// Fresh name for every other local definition.
+		if n.ins.HasDst() && !final {
+			v := p.NewVirtReg()
+			cur[n.ins.Dst] = v
+			n.ins.Dst = v
+		} else if n.ins.HasDst() && final {
+			// The final terminator writes the architectural register
+			// directly; forget any stale mapping.
+			delete(cur, n.ins.Dst)
+			delete(repaired, n.ins.Dst)
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// rewriteUses replaces every register the instruction reads via the
+// naming function.
+func rewriteUses(ins *ir.Instr, name func(ir.Reg) ir.Reg) {
+	switch ins.Op {
+	case ir.OpNop, ir.OpMovI, ir.OpJmp:
+	case ir.OpMov, ir.OpAddI, ir.OpMulI, ir.OpAndI, ir.OpOrI, ir.OpXorI,
+		ir.OpShlI, ir.OpShrI, ir.OpCmpEQI, ir.OpCmpNEI, ir.OpCmpLTI,
+		ir.OpCmpLEI, ir.OpCmpGTI, ir.OpCmpGEI, ir.OpLoad, ir.OpEmit,
+		ir.OpBr, ir.OpSwitch, ir.OpRet:
+		ins.Src1 = name(ins.Src1)
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpAnd, ir.OpOr, ir.OpXor,
+		ir.OpShl, ir.OpShr, ir.OpCmpEQ, ir.OpCmpNE, ir.OpCmpLT, ir.OpCmpLE:
+		ins.Src1 = name(ins.Src1)
+		ins.Src2 = name(ins.Src2)
+	case ir.OpStore:
+		ins.Src1 = name(ins.Src1)
+		ins.Src2 = name(ins.Src2)
+	case ir.OpCall:
+		for i, a := range ins.Args {
+			ins.Args[i] = name(a)
+		}
+	}
+}

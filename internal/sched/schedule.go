@@ -1,0 +1,84 @@
+package sched
+
+import (
+	"sort"
+
+	"pathsched/internal/machine"
+)
+
+// listSchedule performs top-down cycle scheduling (§2.3): cycle by
+// cycle, the ready instructions with the greatest critical-path height
+// fill the machine's functional units, with at most one control
+// operation per cycle. It returns each node's issue cycle and the
+// total span (makespan) in cycles.
+func listSchedule(nodes []node, g *ddg, mc machine.Config) (cycles []int32, span int32) {
+	n := len(nodes)
+	cycles = make([]int32, n)
+	earliest := make([]int32, n)
+	npreds := append([]int(nil), g.npreds...)
+	scheduled := make([]bool, n)
+
+	// ready holds nodes whose predecessors have all issued; they become
+	// eligible once the clock reaches their earliest cycle.
+	var ready []int
+	for i := 0; i < n; i++ {
+		if npreds[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	remaining := n
+	clock := int32(0)
+	for remaining > 0 {
+		// Eligible now, best (height, program order) first.
+		sort.Slice(ready, func(a, b int) bool {
+			ia, ib := ready[a], ready[b]
+			if ha, hb := g.height[ia], g.height[ib]; ha != hb {
+				return ha > hb
+			}
+			return ia < ib
+		})
+		if len(ready) == 0 {
+			panic("sched: scheduler deadlock: dependence graph has a cycle")
+		}
+		slots := mc.FuncUnits
+		branches := mc.BranchPerCycle
+		var rest []int
+		for _, i := range ready {
+			if slots == 0 || earliest[i] > clock {
+				rest = append(rest, i)
+				continue
+			}
+			isBranch := nodes[i].ins.Op.IsBranch()
+			if isBranch && branches == 0 {
+				rest = append(rest, i)
+				continue
+			}
+			// Issue i at clock.
+			cycles[i] = clock
+			scheduled[i] = true
+			remaining--
+			slots--
+			if isBranch {
+				branches--
+			}
+			for _, e := range g.succs[i] {
+				if t := clock + e.lat; t > earliest[e.to] {
+					earliest[e.to] = t
+				}
+				npreds[e.to]--
+				if npreds[e.to] == 0 {
+					rest = append(rest, e.to)
+				}
+			}
+		}
+		ready = rest
+		clock++
+	}
+	span = 0
+	for i := 0; i < n; i++ {
+		if cycles[i]+1 > span {
+			span = cycles[i] + 1
+		}
+	}
+	return cycles, span
+}

@@ -1,0 +1,92 @@
+package sched
+
+import "pathsched/internal/ir"
+
+// valueNumber performs local value numbering over a *renamed*
+// superblock (§2.3: each superblock undergoes "value numbering and
+// dead-code elimination" before scheduling). After renaming, every
+// definition writes a fresh single-assignment name, so names are
+// values: an instruction recomputing an expression already computed by
+// an earlier name is deleted and its uses retargeted to that name.
+//
+// Loads participate with a store/call generation counter: two loads of
+// the same address with no intervening store or call are redundant.
+// Architectural-register definitions (repair copies, the final
+// terminator) are never candidates — their side effect is the point.
+func valueNumber(nodes []node) []node {
+	type key struct {
+		op   ir.Opcode
+		a, b ir.Reg
+		imm  int64
+		gen  int
+	}
+	table := map[key]ir.Reg{}
+	replace := map[ir.Reg]ir.Reg{}
+	canon := func(r ir.Reg) ir.Reg {
+		if c, ok := replace[r]; ok {
+			return c
+		}
+		return r
+	}
+	gen := 0
+	out := make([]node, 0, len(nodes))
+	for i := range nodes {
+		n := nodes[i]
+		rewriteUses(&n.ins, canon)
+
+		// Memory generation: anything that may write memory invalidates
+		// load equivalence.
+		if n.ins.IsMemWrite() || n.ins.Op == ir.OpCall {
+			gen++
+		}
+
+		if vnCandidate(&n.ins) {
+			k := key{op: n.ins.Op, a: n.ins.Src1, b: n.ins.Src2, imm: n.ins.Imm}
+			if isCommutative(n.ins.Op) && k.b < k.a {
+				k.a, k.b = k.b, k.a
+			}
+			if n.ins.Op == ir.OpLoad {
+				k.gen = gen
+			}
+			if prior, ok := table[k]; ok {
+				replace[n.ins.Dst] = prior
+				continue // redundant: drop the instruction entirely
+			}
+			table[k] = n.ins.Dst
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// isCommutative reports whether operand order is irrelevant, so the
+// value-number key can be canonicalized.
+func isCommutative(op ir.Opcode) bool {
+	switch op {
+	case ir.OpAdd, ir.OpMul, ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpCmpEQ, ir.OpCmpNE:
+		return true
+	}
+	return false
+}
+
+// vnCandidate reports whether the instruction computes a pure value
+// into a virtual register and is therefore eligible for redundancy
+// elimination.
+func vnCandidate(ins *ir.Instr) bool {
+	if !ins.HasDst() || !ins.Dst.IsVirtual() {
+		return false
+	}
+	switch ins.Op {
+	case ir.OpMovI,
+		ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpAnd, ir.OpOr, ir.OpXor,
+		ir.OpShl, ir.OpShr,
+		ir.OpAddI, ir.OpMulI, ir.OpAndI, ir.OpOrI, ir.OpXorI,
+		ir.OpShlI, ir.OpShrI,
+		ir.OpCmpEQ, ir.OpCmpNE, ir.OpCmpLT, ir.OpCmpLE,
+		ir.OpCmpEQI, ir.OpCmpNEI, ir.OpCmpLTI, ir.OpCmpLEI,
+		ir.OpCmpGTI, ir.OpCmpGEI,
+		ir.OpLoad:
+		return true
+	}
+	return false
+}

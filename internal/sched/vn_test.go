@@ -1,0 +1,152 @@
+package sched
+
+import (
+	"testing"
+
+	"pathsched/internal/core"
+	"pathsched/internal/interp"
+	"pathsched/internal/ir"
+)
+
+func v(n int32) ir.Reg { return ir.VirtBase + ir.Reg(n) }
+
+func countOps(nodes []node, op ir.Opcode) int {
+	n := 0
+	for i := range nodes {
+		if nodes[i].ins.Op == op {
+			n++
+		}
+	}
+	return n
+}
+
+func TestValueNumberEliminatesRedundantArith(t *testing.T) {
+	nodes := []node{
+		{ins: ir.Add(v(0), 1, 2)},
+		{ins: ir.Add(v(1), 1, 2)}, // redundant
+		{ins: ir.Add(v(2), 2, 1)}, // redundant by commutativity
+		{ins: ir.Mov(3, v(1))},
+		{ins: ir.Mov(4, v(2))},
+		{ins: ir.Ret(3), isExit: true},
+	}
+	out := valueNumber(nodes)
+	if got := countOps(out, ir.OpAdd); got != 1 {
+		t.Fatalf("adds after VN = %d, want 1", got)
+	}
+	// Uses must have been retargeted to the surviving name.
+	for i := range out {
+		if out[i].ins.Op == ir.OpMov && out[i].ins.Src1 != v(0) {
+			t.Fatalf("use not retargeted: %v", out[i].ins)
+		}
+	}
+}
+
+func TestValueNumberRespectsStores(t *testing.T) {
+	nodes := []node{
+		{ins: ir.Load(v(0), 1, 4)},
+		{ins: ir.Load(v(1), 1, 4)},  // redundant (no store between)
+		{ins: ir.Store(2, 0, v(0))}, // invalidates
+		{ins: ir.Load(v(2), 1, 4)},  // NOT redundant
+		{ins: ir.Mov(3, v(1))},
+		{ins: ir.Mov(4, v(2))},
+		{ins: ir.Ret(3), isExit: true},
+	}
+	out := valueNumber(nodes)
+	if got := countOps(out, ir.OpLoad); got != 2 {
+		t.Fatalf("loads after VN = %d, want 2 (second dup removed, post-store kept)", got)
+	}
+}
+
+func TestValueNumberRespectsCalls(t *testing.T) {
+	call := ir.Call(v(9), 0, ir.NoBlock)
+	nodes := []node{
+		{ins: ir.Load(v(0), 1, 0)},
+		{ins: call},
+		{ins: ir.Load(v(1), 1, 0)}, // call may have stored: keep
+		{ins: ir.Mov(3, v(0))},
+		{ins: ir.Mov(4, v(1))},
+		{ins: ir.Ret(3), isExit: true},
+	}
+	out := valueNumber(nodes)
+	if got := countOps(out, ir.OpLoad); got != 2 {
+		t.Fatalf("loads after VN = %d, want 2", got)
+	}
+}
+
+func TestValueNumberSkipsArchDefs(t *testing.T) {
+	nodes := []node{
+		{ins: ir.MovI(v(0), 7)},
+		{ins: ir.MovI(5, 7)}, // architectural repair copy: must survive
+		{ins: ir.Mov(3, v(0))},
+		{ins: ir.Ret(3), isExit: true},
+	}
+	out := valueNumber(nodes)
+	if got := countOps(out, ir.OpMovI); got != 2 {
+		t.Fatalf("movi count after VN = %d, want 2 (arch def kept)", got)
+	}
+}
+
+func TestValueNumberDistinguishesImmediates(t *testing.T) {
+	nodes := []node{
+		{ins: ir.AddI(v(0), 1, 4)},
+		{ins: ir.AddI(v(1), 1, 5)}, // different immediate: keep
+		{ins: ir.Add(3, v(0), v(1))},
+		{ins: ir.Ret(3), isExit: true},
+	}
+	out := valueNumber(nodes)
+	if got := countOps(out, ir.OpAddI); got != 2 {
+		t.Fatalf("addi count = %d, want 2", got)
+	}
+}
+
+// redundantProg recomputes the same expressions repeatedly inside a hot
+// loop; VN should shorten the schedule without changing behaviour.
+func redundantProg() *ir.Program {
+	bd := ir.NewBuilder("vn", 64)
+	pb := bd.Proc("main")
+	entry, head, body, latch, exit :=
+		pb.NewBlock(), pb.NewBlock(), pb.NewBlock(), pb.NewBlock(), pb.NewBlock()
+	const i, s, c, t1, t2, t3 = 1, 2, 3, 4, 5, 6
+	entry.Add(ir.MovI(i, 0), ir.MovI(s, 0))
+	entry.Jmp(head.ID())
+	head.Add(ir.CmpLTI(c, i, 500))
+	head.Br(c, body.ID(), exit.ID())
+	body.Add(
+		ir.MulI(t1, i, 37), ir.AddI(t1, t1, 11),
+		ir.MulI(t2, i, 37), ir.AddI(t2, t2, 11), // same value as t1
+		ir.MulI(t3, i, 37), ir.AddI(t3, t3, 11), // and again
+		ir.Add(s, s, t1), ir.Add(s, s, t2), ir.Add(s, s, t3),
+	)
+	body.Jmp(latch.ID())
+	latch.Add(ir.AddI(i, i, 1))
+	latch.Jmp(head.ID())
+	exit.Add(ir.Emit(s))
+	exit.Ret(s)
+	return bd.Finish()
+}
+
+func TestValueNumberingImprovesSchedules(t *testing.T) {
+	prog := redundantProg()
+	orig, err := interp.Run(prog, interp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withVN := compile(t, prog, core.PathBased, Options{}, nil)
+	withoutVN := compile(t, prog, core.PathBased, Options{DisableVN: true}, nil)
+	r1, err := interp.Run(withVN.Prog, interp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := interp.Run(withoutVN.Prog, interp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustMatch(t, orig, r1, "vn on")
+	mustMatch(t, orig, r2, "vn off")
+	if r1.DynInstrs >= r2.DynInstrs {
+		t.Fatalf("VN must remove dynamic work: %d vs %d instrs", r1.DynInstrs, r2.DynInstrs)
+	}
+	if r1.Cycles > r2.Cycles {
+		t.Fatalf("VN made the schedule worse: %d vs %d cycles", r1.Cycles, r2.Cycles)
+	}
+}

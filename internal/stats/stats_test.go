@@ -1,0 +1,150 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"pathsched/internal/pipeline"
+)
+
+func fakeResults() []*pipeline.Result {
+	mk := func(name string, cycles map[pipeline.Scheme][2]int64) *pipeline.Result {
+		r := &pipeline.Result{
+			Name:          name,
+			Category:      "test",
+			Description:   "fabricated",
+			OrigCodeBytes: 2048,
+			ByScheme:      map[pipeline.Scheme]*pipeline.Measurement{},
+		}
+		for s, c := range cycles {
+			r.ByScheme[s] = &pipeline.Measurement{
+				Scheme:            s,
+				IdealCycles:       c[0],
+				Cycles:            c[1],
+				FetchStall:        c[1] - c[0],
+				DynInstrs:         c[0] * 2,
+				DynBranches:       c[0] / 4,
+				CacheAccesses:     1000,
+				CacheMisses:       10,
+				MissRate:          0.01,
+				SBEntries:         100,
+				AvgBlocksExecuted: 3.5,
+				AvgSBSize:         5.0,
+			}
+		}
+		return r
+	}
+	return []*pipeline.Result{
+		mk("aaa", map[pipeline.Scheme][2]int64{
+			pipeline.SchemeBB:  {2000, 2100},
+			pipeline.SchemeM4:  {1000, 1100},
+			pipeline.SchemeM16: {900, 1050},
+			pipeline.SchemeP4:  {800, 900},
+			pipeline.SchemeP4e: {950, 1000},
+		}),
+		mk("bbb", map[pipeline.Scheme][2]int64{
+			pipeline.SchemeBB:  {4000, 4400},
+			pipeline.SchemeM4:  {2000, 2200},
+			pipeline.SchemeM16: {2000, 2600},
+			pipeline.SchemeP4:  {1500, 1700},
+			pipeline.SchemeP4e: {1800, 1900},
+		}),
+	}
+}
+
+func TestTable1Render(t *testing.T) {
+	out := Table1(fakeResults())
+	for _, want := range []string{"aaa", "bbb", "2.0", "branches(K)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure4Normalization(t *testing.T) {
+	out := Figure4(fakeResults())
+	if !strings.Contains(out, "0.800") { // aaa: 800/1000
+		t.Errorf("Figure4 missing normalized 0.800:\n%s", out)
+	}
+	if !strings.Contains(out, "0.750") { // bbb: 1500/2000
+		t.Errorf("Figure4 missing normalized 0.750:\n%s", out)
+	}
+}
+
+func TestFigure5UsesCacheCycles(t *testing.T) {
+	out := Figure5(fakeResults())
+	// aaa with cache: P4 900/1100 = 0.818.
+	if !strings.Contains(out, "0.818") {
+		t.Errorf("Figure5 should normalize cache cycles:\n%s", out)
+	}
+}
+
+func TestFigure6Schemes(t *testing.T) {
+	out := Figure6(fakeResults())
+	if !strings.Contains(out, "P4e") || !strings.Contains(out, "M16") {
+		t.Errorf("Figure6 missing schemes:\n%s", out)
+	}
+	// bbb M16 cache: 2600/2200 = 1.182.
+	if !strings.Contains(out, "1.182") {
+		t.Errorf("Figure6 normalization wrong:\n%s", out)
+	}
+}
+
+func TestFigure7AndMissRates(t *testing.T) {
+	f7 := Figure7(fakeResults())
+	if !strings.Contains(f7, "3.50/5.00") {
+		t.Errorf("Figure7 missing exec/size:\n%s", f7)
+	}
+	mr := MissRates(fakeResults())
+	if !strings.Contains(mr, "1.00%") {
+		t.Errorf("MissRates missing rate:\n%s", mr)
+	}
+}
+
+func TestSummaryGeomean(t *testing.T) {
+	out := Summary(fakeResults())
+	// P4 ideal: sqrt(0.8 * 0.75) = 0.7746.
+	if !strings.Contains(out, "0.775") {
+		t.Errorf("Summary geomean wrong:\n%s", out)
+	}
+}
+
+func TestRenderersTolerateMissingSchemes(t *testing.T) {
+	res := fakeResults()
+	delete(res[0].ByScheme, pipeline.SchemeP4e)
+	delete(res[1].ByScheme, pipeline.SchemeM4) // even the baseline
+	for _, render := range []func([]*pipeline.Result) string{
+		Table1, Figure4, Figure5, Figure6, Figure7, MissRates, Summary,
+	} {
+		if out := render(res); out == "" {
+			t.Error("renderer returned empty output on partial data")
+		}
+	}
+}
+
+func TestBar(t *testing.T) {
+	if got := bar(0.5, 1.0, 10); strings.Count(got, "█") != 5 {
+		t.Errorf("bar(0.5) = %q", got)
+	}
+	if got := bar(2.0, 1.0, 10); strings.Count(got, "█") != 10 {
+		t.Errorf("bar clamps at width: %q", got)
+	}
+	if got := bar(-1, 1.0, 10); strings.Count(got, "█") != 0 {
+		t.Errorf("bar clamps at zero: %q", got)
+	}
+	if got := bar(1, 0, 10); got != "" {
+		t.Errorf("bar with zero max: %q", got)
+	}
+}
+
+func TestJSONSerialization(t *testing.T) {
+	out, err := JSON(fakeResults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"Name": "aaa"`, `"P4"`, `"IdealCycles": 800`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON missing %q", want)
+		}
+	}
+}

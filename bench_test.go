@@ -137,6 +137,30 @@ func BenchmarkMissRates(b *testing.B) {
 	}
 }
 
+// BenchmarkSuiteParallelism measures the experiment pipeline's wall
+// clock at different worker counts over a mixed four-benchmark subset:
+// j1 is the historical serial order, jmax uses GOMAXPROCS workers at
+// both the benchmark and scheme level. On a multi-core runner jmax
+// should approach a len(schemes)× speedup; results are identical (see
+// TestParallelSuiteReportsAreByteIdentical).
+func BenchmarkSuiteParallelism(b *testing.B) {
+	names := []string{"alt", "ph", "corr", "wc"}
+	for _, cfg := range []struct {
+		name string
+		par  int
+	}{{"j1", 1}, {"jmax", 0}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			c := machine.DefaultICache()
+			runner := pipeline.NewRunner(pipeline.Options{Cache: &c, Parallelism: cfg.par})
+			for i := 0; i < b.N; i++ {
+				if _, err := runner.RunSuite(names, pipeline.AllSchemes()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- Component benchmarks -------------------------------------------
 
 // BenchmarkProfiling compares edge-profiled, path-profiled, and

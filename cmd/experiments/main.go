@@ -8,6 +8,7 @@
 //	experiments -only fig4,fig7  # a subset
 //	experiments -bench gcc,go    # restrict the benchmark set
 //	experiments -realistic       # multi-cycle load/mul latencies (§3.2 note)
+//	experiments -j 1             # serial pipeline (default: GOMAXPROCS workers)
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -34,11 +36,12 @@ func main() {
 		ways      = flag.Int("ways", 1, "I-cache associativity (paper: 1, direct-mapped)")
 		ablate    = flag.Bool("ablate", false, "run design-choice ablations instead of the figures")
 		jsonOut   = flag.Bool("json", false, "emit raw measurements as JSON instead of text reports")
+		jobs      = flag.Int("j", 0, "parallel pipeline workers (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
 	if *ablate {
-		runAblations(*benches)
+		runAblations(*benches, *jobs)
 		return
 	}
 
@@ -47,9 +50,10 @@ func main() {
 	cache := machine.DefaultICache()
 	cache.Ways = *ways
 	runner := pipeline.NewRunner(pipeline.Options{
-		Machine:   mc,
-		Cache:     &cache,
-		PathDepth: *depth,
+		Machine:     mc,
+		Cache:       &cache,
+		PathDepth:   *depth,
+		Parallelism: *jobs,
 	})
 
 	var names []string
@@ -71,8 +75,12 @@ func main() {
 		fmt.Println(out)
 		return
 	}
-	fmt.Printf("# pathsched experiments — %d benchmarks, schemes %v, %.1fs\n\n",
-		len(results), pipeline.AllSchemes(), time.Since(start).Seconds())
+	workers := *jobs
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	fmt.Printf("# pathsched experiments — %d benchmarks, schemes %v, %d worker(s), wall clock %.1fs\n\n",
+		len(results), pipeline.AllSchemes(), workers, time.Since(start).Seconds())
 
 	want := map[string]bool{}
 	for _, w := range strings.Split(*only, ",") {
@@ -108,7 +116,7 @@ func main() {
 // compaction optimizations, and footnote 2's upward trace growth.
 // Reported per configuration: geometric mean of P4/M4 ideal cycles
 // over the ablation benchmark set.
-func runAblations(benches string) {
+func runAblations(benches string, jobs int) {
 	names := []string{"alt", "ph", "corr", "wc", "eqn", "m88k"}
 	if benches != "" {
 		names = strings.Split(benches, ",")
@@ -135,6 +143,7 @@ func runAblations(benches string) {
 	fmt.Printf("# ablations over %v (geomean of P4/M4 ideal cycles; lower favors P4)\n\n", names)
 	fmt.Printf("%-14s %10s %14s\n", "config", "P4/M4", "P4 cycles (K)")
 	for _, c := range configs {
+		c.opts.Parallelism = jobs
 		runner := pipeline.NewRunner(c.opts)
 		results, err := runner.RunSuite(names, []pipeline.Scheme{pipeline.SchemeM4, pipeline.SchemeP4})
 		if err != nil {

@@ -31,7 +31,9 @@ type Benchmark struct {
 	Category    string // "micro", "SPECint92", "SPECint95"
 
 	// Build constructs the program with the given input baked into its
-	// data segments and loop bounds.
+	// data segments and loop bounds. Builds are deterministic and share
+	// no mutable state, so Build may be called from many goroutines at
+	// once (the parallel pipeline does).
 	Build func(in Input) *ir.Program
 
 	// Train and Test are the canonical inputs (Table 1 lists only the

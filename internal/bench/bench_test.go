@@ -199,3 +199,40 @@ func TestBenchmarkCodeSizesScale(t *testing.T) {
 			size("gcc"), size("m88k"), size("wc"), size("alt"))
 	}
 }
+
+// TestConcurrentBuildsAreIndependent is the parallel pipeline's
+// contract with this package: Build must be callable from many
+// goroutines at once (the registry is only read after init) and every
+// concurrent build of the same input must produce a structurally
+// identical program. Run under -race this also proves builders share no
+// hidden mutable state.
+func TestConcurrentBuildsAreIndependent(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			const dup = 4
+			progs := make([]*ir.Program, dup)
+			done := make(chan int, dup)
+			for i := 0; i < dup; i++ {
+				go func(i int) {
+					progs[i] = b.Build(b.Test)
+					done <- i
+				}(i)
+			}
+			for i := 0; i < dup; i++ {
+				<-done
+			}
+			for i := 1; i < dup; i++ {
+				if progs[i].NumInstrs() != progs[0].NumInstrs() {
+					t.Fatalf("build %d has %d instrs, build 0 has %d",
+						i, progs[i].NumInstrs(), progs[0].NumInstrs())
+				}
+				if len(progs[i].Procs) != len(progs[0].Procs) {
+					t.Fatalf("build %d has %d procs, build 0 has %d",
+						i, len(progs[i].Procs), len(progs[0].Procs))
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,50 @@
+// Determinism golden test for the parallel pipeline: rendered reports
+// from a Parallelism>1 suite run must be byte-identical to a serial
+// run. It lives in an external test package because internal/stats
+// imports internal/pipeline. Run under -race, this doubles as the
+// concurrency-safety gate for the shared read path (frozen profiles,
+// pristine builds, machine config).
+package pipeline_test
+
+import (
+	"runtime"
+	"testing"
+
+	"pathsched/internal/machine"
+	"pathsched/internal/pipeline"
+	"pathsched/internal/stats"
+)
+
+// renderAll concatenates every report the experiments command emits.
+func renderAll(t *testing.T, res []*pipeline.Result) string {
+	t.Helper()
+	js, err := stats.JSON(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stats.Table1(res) + stats.Figure4(res) + stats.Figure5(res) +
+		stats.Figure6(res) + stats.Figure7(res) + stats.MissRates(res) +
+		stats.Summary(res) + js
+}
+
+func TestParallelSuiteReportsAreByteIdentical(t *testing.T) {
+	names := []string{"alt", "ph", "corr", "wc"}
+	run := func(par int) string {
+		c := machine.DefaultICache()
+		r := pipeline.NewRunner(pipeline.Options{Cache: &c, Parallelism: par})
+		res, err := r.RunSuite(names, pipeline.AllSchemes())
+		if err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		return renderAll(t, res)
+	}
+	par := runtime.GOMAXPROCS(0)
+	if par < 2 {
+		par = 4 // exercise real interleaving even on a single-core runner
+	}
+	serial, parallel := run(1), run(par)
+	if serial != parallel {
+		t.Fatalf("reports diverge between Parallelism=1 and Parallelism=%d:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			par, serial, parallel)
+	}
+}

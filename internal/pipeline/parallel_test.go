@@ -1,0 +1,181 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"pathsched/internal/bench"
+	"pathsched/internal/ir"
+	"pathsched/internal/machine"
+)
+
+func TestForEachLimitedRunsEveryItem(t *testing.T) {
+	for _, par := range []int{1, 2, 7, 100} {
+		var ran [17]int32
+		err := forEachLimited(context.Background(), len(ran), par, func(_ context.Context, i int) error {
+			atomic.AddInt32(&ran[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		for i, n := range ran {
+			if n != 1 {
+				t.Fatalf("par=%d: item %d ran %d times", par, i, n)
+			}
+		}
+	}
+}
+
+func TestForEachLimitedBoundsConcurrency(t *testing.T) {
+	const par = 3
+	var cur, peak int32
+	err := forEachLimited(context.Background(), 20, par, func(_ context.Context, i int) error {
+		n := atomic.AddInt32(&cur, 1)
+		for {
+			p := atomic.LoadInt32(&peak)
+			if n <= p || atomic.CompareAndSwapInt32(&peak, p, n) {
+				break
+			}
+		}
+		atomic.AddInt32(&cur, -1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := atomic.LoadInt32(&peak); got > par {
+		t.Fatalf("observed %d concurrent items, bound is %d", got, par)
+	}
+}
+
+func TestForEachLimitedReturnsLowestErrorAndCancels(t *testing.T) {
+	boom := errors.New("boom")
+	var after int32
+	err := forEachLimited(context.Background(), 50, 4, func(ctx context.Context, i int) error {
+		if i == 2 {
+			return fmt.Errorf("item %d: %w", i, boom)
+		}
+		if i > 10 && ctx.Err() == nil {
+			atomic.AddInt32(&after, 1)
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	// Cancellation is advisory for in-flight items, but the claimed-item
+	// loop must stop early: with 50 items and 4 workers, far fewer than
+	// 39 late items may observe an uncancelled context.
+	if n := atomic.LoadInt32(&after); n > 45 {
+		t.Fatalf("%d items ran with live context after the failure", n)
+	}
+}
+
+func TestForEachLimitedHonorsParentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran int32
+	err := forEachLimited(ctx, 5, 3, func(_ context.Context, i int) error {
+		atomic.AddInt32(&ran, 1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunSuiteContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := NewRunner(Options{Parallelism: 2})
+	if _, err := r.RunSuiteContext(ctx, []string{"alt", "ph"}, []Scheme{SchemeBB}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestParallelMatchesSerial is the tentpole's determinism guarantee at
+// the Result level: a Parallelism>1 run must produce measurements
+// deeply equal to the historical serial order, benchmark by benchmark
+// and scheme by scheme.
+func TestParallelMatchesSerial(t *testing.T) {
+	names := []string{"alt", "ph", "corr"}
+	run := func(par int) []*Result {
+		c := machine.DefaultICache()
+		r := NewRunner(Options{Cache: &c, Parallelism: par})
+		res, err := r.RunSuite(names, AllSchemes())
+		if err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		return res
+	}
+	serial, parallel := run(1), run(4)
+	if len(serial) != len(parallel) {
+		t.Fatalf("result counts diverge: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i].Name != parallel[i].Name {
+			t.Fatalf("suite order diverges at %d: %s vs %s", i, serial[i].Name, parallel[i].Name)
+		}
+		if !reflect.DeepEqual(serial[i], parallel[i]) {
+			t.Errorf("%s: parallel result differs from serial:\nserial:   %+v\nparallel: %+v",
+				serial[i].Name, serial[i], parallel[i])
+		}
+	}
+}
+
+// countingBenchmark wraps b so every Build invocation is counted by
+// input label. The counters are atomic because parallel scheme runs may
+// build concurrently.
+func countingBenchmark(b *bench.Benchmark, trainN, testN *int64) *bench.Benchmark {
+	wrapped := *b
+	wrapped.Build = func(in bench.Input) *ir.Program {
+		switch in.Label {
+		case b.Train.Label:
+			atomic.AddInt64(trainN, 1)
+		case b.Test.Label:
+			atomic.AddInt64(testN, 1)
+		}
+		return b.Build(in)
+	}
+	return &wrapped
+}
+
+// TestBuildCountPerBenchmark locks in the redundant-build fix: one
+// pristine train and one pristine test build serve profiling, the
+// reference run, and every scheme compile (which clone rather than
+// mutate). The acceptance bound is len(schemes)+1 test builds; the
+// implementation achieves exactly one of each.
+func TestBuildCountPerBenchmark(t *testing.T) {
+	for _, par := range []int{1, 4} {
+		var trainN, testN int64
+		// wc has distinct train/test labels, so the counter can tell
+		// the two build kinds apart (microbenchmarks share one label).
+		b := countingBenchmark(bench.ByName("wc"), &trainN, &testN)
+		r := NewRunner(Options{Parallelism: par})
+		if _, err := r.RunBenchmark(b, AllSchemes()); err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		if max := int64(len(AllSchemes()) + 1); testN > max {
+			t.Fatalf("par=%d: %d test builds, acceptance bound is %d", par, testN, max)
+		}
+		if trainN != 1 || testN != 1 {
+			t.Fatalf("par=%d: train/test builds = %d/%d, want 1/1", par, trainN, testN)
+		}
+	}
+}
+
+// TestRunBenchmarkFirstErrorCancels drives the error path through a
+// benchmark whose test build diverges structurally, which every scheme
+// would report; exactly one wrapped error must surface.
+func TestRunBenchmarkSchemeErrorPropagates(t *testing.T) {
+	r := NewRunner(Options{Parallelism: 4})
+	_, err := r.RunBenchmark(bench.ByName("alt"), []Scheme{SchemeBB, "bogus", SchemeP4})
+	if err == nil {
+		t.Fatal("unknown scheme must error")
+	}
+}

@@ -14,10 +14,23 @@
 // builds. The pipeline exploits that: layout weights are gathered by
 // running the *transformed training build* (never the testing input),
 // exactly like a profile-guided link step.
+//
+// Because formation is deterministic given an immutable frozen profile,
+// the per-benchmark and per-scheme measurements are independent of one
+// another: RunSuite fans benchmarks out across a bounded worker pool,
+// and RunBenchmark fans the schemes out likewise. Frozen profiles
+// (EdgeProfile, PathProfile) and pristine builds are shared read-only
+// across workers; everything a scheme mutates (formed clones, layout,
+// cache model, layout profilers) is private to its worker. Results are
+// assembled in input order regardless of completion order, so parallel
+// and serial runs produce identical output. Options.Parallelism
+// controls the pool (1 reproduces the historical serial order).
 package pipeline
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 
 	"pathsched/internal/bench"
 	"pathsched/internal/core"
@@ -64,10 +77,16 @@ type Options struct {
 	// per activation (see profile.PathConfig.CrossActivation).
 	PathCrossActivation bool
 	// Form tweaks the formation config after scheme defaults apply
-	// (used by ablation benches).
+	// (used by ablation benches). It may be called from several
+	// goroutines at once; it must only mutate the config it is given.
 	Form func(*core.Config)
 	// Sched carries compaction options (renaming/DCE ablations).
 	Sched sched.Options
+	// Parallelism bounds how many benchmarks (in RunSuite) and schemes
+	// (in RunBenchmark) are measured concurrently. 0 means
+	// runtime.GOMAXPROCS(0); 1 reproduces the historical serial
+	// execution order exactly. Results are identical at any setting.
+	Parallelism int
 }
 
 // Measurement is one (benchmark, scheme) data point.
@@ -123,11 +142,20 @@ func NewRunner(opts Options) *Runner {
 		// measures on.
 		opts.Sched.Machine = opts.Machine
 	}
+	if opts.Parallelism <= 0 {
+		opts.Parallelism = runtime.GOMAXPROCS(0)
+	}
 	return &Runner{opts: opts}
 }
 
 // RunBenchmark measures b under every requested scheme.
 func (r *Runner) RunBenchmark(b *bench.Benchmark, schemes []Scheme) (*Result, error) {
+	return r.RunBenchmarkContext(context.Background(), b, schemes)
+}
+
+// RunBenchmarkContext is RunBenchmark with cancellation: the first
+// scheme error (or ctx expiry) cancels the remaining scheme runs.
+func (r *Runner) RunBenchmarkContext(ctx context.Context, b *bench.Benchmark, schemes []Scheme) (*Result, error) {
 	trainProg := b.Build(b.Train)
 	testProg := b.Build(b.Test)
 	if err := checkSameShape(trainProg, testProg); err != nil {
@@ -145,10 +173,29 @@ func (r *Runner) RunBenchmark(b *bench.Benchmark, schemes []Scheme) (*Result, er
 	}
 	eprof, pprof := ep.Profile(), pp.Profile()
 
-	// Reference output for the correctness cross-check.
-	ref, err := interp.Run(b.Build(b.Test), interp.Config{})
+	// Reference output for the correctness cross-check. The pristine
+	// testing build doubles as the reference program: nothing below
+	// mutates it (compileWith clones before compacting), so no extra
+	// build is needed.
+	ref, err := interp.Run(testProg, interp.Config{})
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: %s: reference run: %w", b.Name, err)
+	}
+
+	// Fan the schemes out. Each worker only reads the shared builds and
+	// frozen profiles; measurements land at their scheme's index, so
+	// assembly order is independent of completion order.
+	ms := make([]*Measurement, len(schemes))
+	err = forEachLimited(ctx, len(schemes), r.opts.Parallelism, func(ctx context.Context, i int) error {
+		m, err := r.runScheme(schemes[i], trainProg, testProg, eprof, pprof, ref)
+		if err != nil {
+			return fmt.Errorf("pipeline: %s/%s: %w", b.Name, schemes[i], err)
+		}
+		ms[i] = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	res := &Result{
@@ -158,23 +205,22 @@ func (r *Runner) RunBenchmark(b *bench.Benchmark, schemes []Scheme) (*Result, er
 		OrigCodeBytes: testProg.CodeBytes(),
 		ByScheme:      map[Scheme]*Measurement{},
 	}
-	for _, s := range schemes {
-		m, err := r.runScheme(b, s, eprof, pprof, ref)
-		if err != nil {
-			return nil, fmt.Errorf("pipeline: %s/%s: %w", b.Name, s, err)
-		}
-		res.ByScheme[s] = m
+	for i, s := range schemes {
+		res.ByScheme[s] = ms[i]
 	}
 	return res, nil
 }
 
-// compileWith forms and compacts a fresh build of prog under scheme s.
+// compileWith forms and compacts prog under scheme s. prog is treated
+// as read-only — formation clones internally and the BB baseline clones
+// explicitly — so one shared build can feed concurrent scheme compiles.
 func (r *Runner) compileWith(prog *ir.Program, s Scheme, eprof *profile.EdgeProfile, pprof *profile.PathProfile) (*ir.Program, *core.Result, core.Stats, error) {
 	if s == SchemeBB {
-		if err := sched.CompactBasicBlocks(prog, r.opts.Sched); err != nil {
+		bb := ir.CloneProgram(prog)
+		if err := sched.CompactBasicBlocks(bb, r.opts.Sched); err != nil {
 			return nil, nil, core.Stats{}, err
 		}
-		return prog, nil, core.Stats{}, nil
+		return bb, nil, core.Stats{}, nil
 	}
 	cfg := core.DefaultConfig()
 	cfg.Edge, cfg.Path = eprof, pprof
@@ -206,15 +252,18 @@ func (r *Runner) compileWith(prog *ir.Program, s Scheme, eprof *profile.EdgeProf
 	return formed.Prog, formed, formed.Stats, nil
 }
 
-func (r *Runner) runScheme(b *bench.Benchmark, s Scheme, eprof *profile.EdgeProfile, pprof *profile.PathProfile, ref *interp.Result) (*Measurement, error) {
+// runScheme compiles and measures one scheme. trainProg and testProg
+// are the benchmark's shared pristine builds; runScheme only reads them
+// (compileWith clones), so concurrent scheme runs can share one pair.
+func (r *Runner) runScheme(s Scheme, trainProg, testProg *ir.Program, eprof *profile.EdgeProfile, pprof *profile.PathProfile, ref *interp.Result) (*Measurement, error) {
 	// Compile the training build to harvest layout weights, then the
 	// testing build for measurement. Formation is deterministic given
 	// (CFG, profile), so both compiles produce the same structure.
-	trainBin, _, _, err := r.compileWith(b.Build(b.Train), s, eprof, pprof)
+	trainBin, _, _, err := r.compileWith(trainProg, s, eprof, pprof)
 	if err != nil {
 		return nil, fmt.Errorf("train compile: %w", err)
 	}
-	testBin, _, stats, err := r.compileWith(b.Build(b.Test), s, eprof, pprof)
+	testBin, _, stats, err := r.compileWith(testProg, s, eprof, pprof)
 	if err != nil {
 		return nil, fmt.Errorf("test compile: %w", err)
 	}
@@ -275,20 +324,34 @@ func (r *Runner) runScheme(b *bench.Benchmark, s Scheme, eprof *profile.EdgeProf
 
 // RunSuite measures every named benchmark (nil means the whole suite).
 func (r *Runner) RunSuite(names []string, schemes []Scheme) ([]*Result, error) {
+	return r.RunSuiteContext(context.Background(), names, schemes)
+}
+
+// RunSuiteContext is RunSuite with cancellation: benchmarks are
+// dispatched across a bounded worker pool, the first error cancels the
+// rest, and results come back in suite order regardless of which
+// benchmark finished first.
+func (r *Runner) RunSuiteContext(ctx context.Context, names []string, schemes []Scheme) ([]*Result, error) {
 	if names == nil {
 		names = bench.Names()
 	}
-	var out []*Result
-	for _, n := range names {
-		b := bench.ByName(n)
-		if b == nil {
+	bs := make([]*bench.Benchmark, len(names))
+	for i, n := range names {
+		if bs[i] = bench.ByName(n); bs[i] == nil {
 			return nil, fmt.Errorf("pipeline: unknown benchmark %q", n)
 		}
-		res, err := r.RunBenchmark(b, schemes)
+	}
+	out := make([]*Result, len(bs))
+	err := forEachLimited(ctx, len(bs), r.opts.Parallelism, func(ctx context.Context, i int) error {
+		res, err := r.RunBenchmarkContext(ctx, bs[i], schemes)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, res)
+		out[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -63,7 +63,9 @@ func (ep *EdgeProfiler) Edge(p ir.ProcID, from, to ir.BlockID) {
 func (ep *EdgeProfiler) Profile() *EdgeProfile { return &EdgeProfile{procs: ep.procs} }
 
 // EdgeProfile answers point-profile queries for trace selection and
-// enlargement.
+// enlargement. All methods are read-only, so a profile whose backing
+// profiler has stopped observing may serve any number of goroutines at
+// once (the parallel pipeline relies on this).
 type EdgeProfile struct {
 	procs []*procEdges
 }

@@ -119,10 +119,14 @@ func (pp *PathProfiler) EnterProc(p ir.ProcID, entry ir.BlockID) {
 	pp.prevStack = append(pp.prevStack, ir.NoBlock)
 }
 
-// ExitProc implements interp.Observer.
+// ExitProc implements interp.Observer. A mismatched exit — one whose
+// procedure is not the innermost live activation, as a malformed or
+// replayed event stream can produce — is ignored defensively, mirroring
+// Block; popping unconditionally would silently corrupt the caller's
+// window.
 func (pp *PathProfiler) ExitProc(p ir.ProcID) {
 	n := len(pp.stack)
-	if n == 0 {
+	if n == 0 || pp.procStack[n-1] != p {
 		return
 	}
 	pp.stack = pp.stack[:n-1]
@@ -293,7 +297,10 @@ type procPathIndex struct {
 	distinct int   // distinct windows
 }
 
-// PathProfile answers exact path-frequency queries (paper §2.2).
+// PathProfile answers exact path-frequency queries (paper §2.2). A
+// frozen profile is immutable: every method only reads the suffix
+// index, so one profile may serve any number of goroutines at once
+// (the parallel pipeline relies on this).
 type PathProfile struct {
 	cfg   PathConfig
 	procs []*procPathIndex
@@ -344,7 +351,12 @@ func (pf *PathProfile) MostLikelyPathSuccessor(p ir.ProcID, seq []ir.BlockID) (i
 // branch count is within the profiling depth and whose length is
 // within the window cap — the "longest suffix of the superblock for
 // which we have exact frequencies" from §2.2. One branch slot is
-// reserved so the suffix can still be extended by one block.
+// reserved so the suffix can still be extended by one block. The
+// suffix never shrinks below the final block: single blocks are always
+// recorded, so returning at least seq's last block keeps Freq and
+// SuccFreqs queries meaningful even when every block consumes depth
+// (e.g. an all-conditional sequence at Depth 1, where a full trim would
+// yield an empty suffix and silently disable path guidance).
 func (pf *PathProfile) TrimToDepth(p ir.ProcID, seq []ir.BlockID) []ir.BlockID {
 	condBr := pf.procs[p].condBr
 	branches := 0
@@ -354,10 +366,7 @@ func (pf *PathProfile) TrimToDepth(p ir.ProcID, seq []ir.BlockID) []ir.BlockID {
 		}
 	}
 	start := 0
-	for branches > pf.cfg.Depth-1 || len(seq)-start > pf.cfg.MaxBlocks-1 {
-		if start >= len(seq) {
-			break
-		}
+	for start < len(seq)-1 && (branches > pf.cfg.Depth-1 || len(seq)-start > pf.cfg.MaxBlocks-1) {
 		if int(seq[start]) < len(condBr) && condBr[seq[start]] {
 			branches--
 		}

@@ -212,6 +212,9 @@ type ExperimentOptions struct {
 	RealisticLatency bool
 	// NoCache disables the I-cache simulation.
 	NoCache bool
+	// Parallelism bounds concurrent benchmark/scheme measurement
+	// (0 = GOMAXPROCS, 1 = serial). Results are identical either way.
+	Parallelism int
 }
 
 // ExperimentResults bundles raw measurements with renderers for every
@@ -225,7 +228,7 @@ type ExperimentResults struct {
 func Experiments(opts ExperimentOptions) (*ExperimentResults, error) {
 	mc := machine.Default()
 	mc.Realistic = opts.RealisticLatency
-	popts := pipeline.Options{Machine: mc}
+	popts := pipeline.Options{Machine: mc, Parallelism: opts.Parallelism}
 	if !opts.NoCache {
 		cache := machine.DefaultICache()
 		popts.Cache = &cache

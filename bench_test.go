@@ -243,6 +243,129 @@ func BenchmarkCompaction(b *testing.B) {
 	}
 }
 
+// BenchmarkInterpDispatch races the two dispatch engines on the
+// no-observer fast path (a measurement run): the preserved seed engine
+// (reference, per-instruction switch over ir.Instr) against the
+// pre-decoded threaded-code engine behind interp.Run (decoded), on
+// both an unscheduled build and a scheduled P4 binary of the same
+// benchmark. The decoded/reference Minstr/s ratio is the speedup the
+// decode buys; cmd/benchinterp records it in BENCH_interp.json.
+func BenchmarkInterpDispatch(b *testing.B) {
+	bm := bench.ByName("wc")
+	unsched := bm.Build(bm.Train)
+	profs, err := ProfileProgram(bm.Build(bm.Train))
+	if err != nil {
+		b.Fatal(err)
+	}
+	scheduled, err := Compile(bm.Build(bm.Train), profs, SchemeP4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	engines := []struct {
+		name string
+		run  func(*Program, interp.Config) (*interp.Result, error)
+	}{
+		{"reference", interp.ReferenceRun},
+		{"decoded", interp.Run},
+	}
+	progs := []struct {
+		name string
+		prog *Program
+	}{
+		{"unscheduled", unsched},
+		{"scheduled", scheduled},
+	}
+	for _, p := range progs {
+		for _, e := range engines {
+			b.Run(p.name+"/"+e.name, func(b *testing.B) {
+				var instrs int64
+				for i := 0; i < b.N; i++ {
+					res, err := e.run(p.prog, interp.Config{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					instrs = res.DynInstrs
+				}
+				b.ReportMetric(float64(instrs)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+			})
+		}
+	}
+}
+
+// event is one captured observer callback, for profiler replay.
+type event struct {
+	kind byte // 0 enter, 1 exit, 2 edge, 3 block
+	p    ProcID
+	a, b BlockID
+}
+
+type eventRecorder struct {
+	events []event
+	limit  int
+}
+
+func (r *eventRecorder) full() bool { return len(r.events) >= r.limit }
+func (r *eventRecorder) EnterProc(p ProcID, entry BlockID) {
+	if !r.full() {
+		r.events = append(r.events, event{0, p, entry, 0})
+	}
+}
+func (r *eventRecorder) ExitProc(p ProcID) {
+	if !r.full() {
+		r.events = append(r.events, event{1, p, 0, 0})
+	}
+}
+func (r *eventRecorder) Edge(p ProcID, from, to BlockID) {
+	if !r.full() {
+		r.events = append(r.events, event{2, p, from, to})
+	}
+}
+func (r *eventRecorder) Block(p ProcID, b BlockID) {
+	if !r.full() {
+		r.events = append(r.events, event{3, p, b, 0})
+	}
+}
+
+// BenchmarkProfilerHotPath measures the observer callbacks themselves
+// — the per-event cost of the dense edge profiler and of the lazy path
+// profiler — by replaying a captured event stream from a real training
+// run into a fresh profiler per iteration, without interpreter time in
+// the loop.
+func BenchmarkProfilerHotPath(b *testing.B) {
+	bm := bench.ByName("wc")
+	prog := bm.Build(bm.Train)
+	rec := &eventRecorder{limit: 1 << 17}
+	if _, err := interp.Run(prog, interp.Config{Observer: rec}); err != nil {
+		b.Fatal(err)
+	}
+	replay := func(obs interp.Observer) {
+		for _, ev := range rec.events {
+			switch ev.kind {
+			case 0:
+				obs.EnterProc(ev.p, ev.a)
+			case 1:
+				obs.ExitProc(ev.p)
+			case 2:
+				obs.Edge(ev.p, ev.a, ev.b)
+			case 3:
+				obs.Block(ev.p, ev.a)
+			}
+		}
+	}
+	b.Run("edge", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			replay(profile.NewEdgeProfiler(prog))
+		}
+		b.ReportMetric(float64(len(rec.events))*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mevents/s")
+	})
+	b.Run("path", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			replay(profile.NewPathProfiler(prog, profile.PathConfig{}))
+		}
+		b.ReportMetric(float64(len(rec.events))*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mevents/s")
+	})
+}
+
 // BenchmarkInterpreter measures raw scheduled-code execution speed.
 func BenchmarkInterpreter(b *testing.B) {
 	prog := demoProgram()

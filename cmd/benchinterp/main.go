@@ -1,0 +1,185 @@
+// Command benchinterp measures the pre-decoded interpreter against the
+// preserved seed engine on the no-observer fast path (a measurement
+// run) and writes the result to BENCH_interp.json.
+//
+// The shared-machine noise this is expected to run under swamps a
+// back-to-back comparison: batches of one engine drift 10%+ against
+// batches of the other as neighbors come and go. So every trial times
+// the two engines adjacently (alternating which goes first), the
+// speedup is the median of the per-trial ratios — drift that moves
+// both halves of a pair cancels — and the reported throughputs are
+// per-engine medians across trials.
+//
+// Usage:
+//
+//	go run ./cmd/benchinterp [-trials N] [-mintime D] [-o BENCH_interp.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"pathsched"
+	"pathsched/internal/bench"
+	"pathsched/internal/interp"
+)
+
+type engineStats struct {
+	MinstrPerSec float64   `json:"minstr_per_sec"` // median across trials
+	Trials       []float64 `json:"trials"`
+}
+
+type variantResult struct {
+	DynInstrs int64       `json:"dyn_instrs"` // per run, both engines agree
+	Reference engineStats `json:"reference"`
+	Decoded   engineStats `json:"decoded"`
+	// Speedup is the median of per-trial decoded/reference ratios
+	// (each ratio compares adjacent timings, so machine drift between
+	// trials cancels out of it).
+	Speedup float64 `json:"speedup"`
+}
+
+type report struct {
+	Benchmark        string                    `json:"benchmark"`
+	Scheme           string                    `json:"scheme"`
+	TrialsPerEngine  int                       `json:"trials_per_engine"`
+	MinTimePerTrial  string                    `json:"min_time_per_trial"`
+	GoVersion        string                    `json:"go_version"`
+	GOMAXPROCS       int                       `json:"gomaxprocs"`
+	Variants         map[string]*variantResult `json:"variants"`
+	WallClockSeconds float64                   `json:"wall_clock_seconds"`
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// time1 runs the engine repeatedly for at least minTime and returns
+// Minstr/s along with the per-run instruction count.
+func time1(run func(*pathsched.Program, interp.Config) (*interp.Result, error),
+	prog *pathsched.Program, minTime time.Duration) (float64, int64, error) {
+	var instrs, runs int64
+	start := time.Now()
+	for time.Since(start) < minTime {
+		res, err := run(prog, interp.Config{})
+		if err != nil {
+			return 0, 0, err
+		}
+		instrs = res.DynInstrs
+		runs++
+	}
+	elapsed := time.Since(start).Seconds()
+	return float64(instrs) * float64(runs) / elapsed / 1e6, instrs, nil
+}
+
+func measure(prog *pathsched.Program, trials int, minTime time.Duration) (*variantResult, error) {
+	v := &variantResult{}
+	// Warm-up: populates the decode cache and faults in both paths.
+	for _, run := range []func(*pathsched.Program, interp.Config) (*interp.Result, error){
+		interp.ReferenceRun, interp.Run,
+	} {
+		if _, err := run(prog, interp.Config{}); err != nil {
+			return nil, err
+		}
+	}
+	var ratios []float64
+	for t := 0; t < trials; t++ {
+		refFirst := t%2 == 0
+		var ref, dec float64
+		var err error
+		if refFirst {
+			ref, v.DynInstrs, err = time1(interp.ReferenceRun, prog, minTime)
+		} else {
+			dec, v.DynInstrs, err = time1(interp.Run, prog, minTime)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if refFirst {
+			dec, _, err = time1(interp.Run, prog, minTime)
+		} else {
+			ref, _, err = time1(interp.ReferenceRun, prog, minTime)
+		}
+		if err != nil {
+			return nil, err
+		}
+		v.Reference.Trials = append(v.Reference.Trials, ref)
+		v.Decoded.Trials = append(v.Decoded.Trials, dec)
+		ratios = append(ratios, dec/ref)
+	}
+	v.Reference.MinstrPerSec = median(v.Reference.Trials)
+	v.Decoded.MinstrPerSec = median(v.Decoded.Trials)
+	v.Speedup = median(ratios)
+	return v, nil
+}
+
+func main() {
+	trials := flag.Int("trials", 12, "paired trials per variant")
+	minTime := flag.Duration("mintime", 250*time.Millisecond, "minimum measuring time per engine per trial")
+	out := flag.String("o", "BENCH_interp.json", "output file")
+	flag.Parse()
+
+	start := time.Now()
+	bm := bench.ByName("wc")
+	unsched := bm.Build(bm.Train)
+	profs, err := pathsched.ProfileProgram(bm.Build(bm.Train))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchinterp:", err)
+		os.Exit(1)
+	}
+	scheduled, err := pathsched.Compile(bm.Build(bm.Train), profs, pathsched.SchemeP4)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchinterp:", err)
+		os.Exit(1)
+	}
+
+	rep := &report{
+		Benchmark:       bm.Name,
+		Scheme:          "P4",
+		TrialsPerEngine: *trials,
+		MinTimePerTrial: minTime.String(),
+		GoVersion:       runtime.Version(),
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		Variants:        map[string]*variantResult{},
+	}
+	for _, p := range []struct {
+		name string
+		prog *pathsched.Program
+	}{{"unscheduled", unsched}, {"scheduled", scheduled}} {
+		v, err := measure(p.prog, *trials, *minTime)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchinterp: %s: %v\n", p.name, err)
+			os.Exit(1)
+		}
+		rep.Variants[p.name] = v
+		fmt.Printf("%-12s reference %7.1f Minstr/s   decoded %7.1f Minstr/s   speedup %.2fx\n",
+			p.name, v.Reference.MinstrPerSec, v.Decoded.MinstrPerSec, v.Speedup)
+	}
+	rep.WallClockSeconds = time.Since(start).Seconds()
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchinterp:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchinterp:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (wall clock %.1fs)\n", *out, rep.WallClockSeconds)
+}

@@ -115,7 +115,7 @@ func (f *former) appendCopy(sb *Superblock, s ir.BlockID) {
 		}
 	}
 	sb.Blocks = append(sb.Blocks, clone.ID)
-	f.res.Stats.EnlargeCopies++
+	f.stats.EnlargeCopies++
 }
 
 // enlargeEdge dispatches the three classical superblock-enlarging
@@ -156,7 +156,7 @@ func (f *former) cloneBody(body []ir.BlockID) []ir.BlockID {
 	for j := 0; j < len(clones)-1; j++ {
 		ir.RedirectEdges(f.proc.Block(clones[j]), body[j+1], clones[j+1])
 	}
-	f.res.Stats.EnlargeCopies += len(clones)
+	f.stats.EnlargeCopies += len(clones)
 	return clones
 }
 
@@ -187,7 +187,7 @@ func (f *former) unrollLoop(sb *Superblock) {
 	}
 	// The final copy's back edge still targets the original head,
 	// closing the larger loop.
-	f.res.Stats.Unrolled++
+	f.stats.Unrolled++
 }
 
 // peelLoop builds a straight-line prologue of k copies of the loop
@@ -245,7 +245,7 @@ func (f *former) peelLoop(sb *Superblock, k int) {
 	}
 	prologue.EntryFreq = entryFreq
 	f.sbs = append(f.sbs, prologue)
-	f.res.Stats.Peeled++
+	f.stats.Peeled++
 }
 
 // expandBranchTarget iteratively appends a copy of the superblock whose
@@ -295,7 +295,7 @@ func (f *former) expandBranchTarget(sb *Superblock) {
 		ir.RedirectEdges(last, target, clones[0])
 		sb.Blocks = append(sb.Blocks, clones...)
 		instrs += add
-		f.res.Stats.Expanded++
+		f.stats.Expanded++
 	}
 }
 

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"pathsched/internal/ir"
+)
+
+// multiProcProg builds a program with several procedures of differing
+// shapes (loops with biased branches, a call chain, a multiway split)
+// so parallel formation has real per-procedure work to interleave.
+func multiProcProg() *ir.Program {
+	bd := ir.NewBuilder("multi", 64)
+
+	mainPB := bd.Proc("main")
+	loopA := bd.Proc("loopA")
+	loopB := bd.Proc("loopB")
+	swproc := bd.Proc("swproc")
+
+	// loopA(n): biased-branch countdown loop (alt shape).
+	{
+		entry, head, body, rare, common, latch, exit :=
+			loopA.NewBlock(), loopA.NewBlock(), loopA.NewBlock(), loopA.NewBlock(), loopA.NewBlock(), loopA.NewBlock(), loopA.NewBlock()
+		const i, sum, c, tmp = 1, 2, 3, 4
+		entry.Add(ir.Mov(i, ir.RegArg0), ir.MovI(sum, 0))
+		entry.Jmp(head.ID())
+		head.Add(ir.CmpGTI(c, i, 0))
+		head.Br(c, body.ID(), exit.ID())
+		body.Add(ir.AndI(tmp, i, 7), ir.CmpEQI(c, tmp, 0))
+		body.Br(c, rare.ID(), common.ID())
+		common.Add(ir.AddI(sum, sum, 1))
+		common.Jmp(latch.ID())
+		rare.Add(ir.AddI(sum, sum, 50))
+		rare.Jmp(latch.ID())
+		latch.Add(ir.AddI(i, i, -1))
+		latch.Jmp(head.ID())
+		exit.Ret(sum)
+	}
+
+	// loopB(n): nested loop over memory.
+	{
+		entry, oh, ob, ih, ib, ol, exit :=
+			loopB.NewBlock(), loopB.NewBlock(), loopB.NewBlock(), loopB.NewBlock(), loopB.NewBlock(), loopB.NewBlock(), loopB.NewBlock()
+		const i, j, sum, c, addr = 1, 2, 3, 4, 5
+		entry.Add(ir.Mov(i, ir.RegArg0), ir.MovI(sum, 0))
+		entry.Jmp(oh.ID())
+		oh.Add(ir.CmpGTI(c, i, 0))
+		oh.Br(c, ob.ID(), exit.ID())
+		ob.Add(ir.MovI(j, 4))
+		ob.Jmp(ih.ID())
+		ih.Add(ir.CmpGTI(c, j, 0))
+		ih.Br(c, ib.ID(), ol.ID())
+		ib.Add(ir.AndI(addr, j, 31), ir.Load(c, addr, 0), ir.Add(sum, sum, c), ir.AddI(j, j, -1))
+		ib.Jmp(ih.ID())
+		ol.Add(ir.AddI(i, i, -1))
+		ol.Jmp(oh.ID())
+		exit.Ret(sum)
+	}
+
+	// swproc(x): multiway dispatch.
+	{
+		entry := swproc.NewBlock()
+		arms := []*ir.BlockBuilder{swproc.NewBlock(), swproc.NewBlock(), swproc.NewBlock()}
+		join := swproc.NewBlock()
+		const x, v = 1, 2
+		entry.Add(ir.AndI(x, ir.RegArg0, 3))
+		entry.Switch(x, arms[0].ID(), arms[1].ID(), arms[2].ID())
+		for k, arm := range arms {
+			arm.Add(ir.MovI(v, int64(10*k+1)))
+			arm.Jmp(join.ID())
+		}
+		join.Ret(v)
+	}
+
+	// main: drive all three with a loop.
+	{
+		entry, head, body, latch, exit :=
+			mainPB.NewBlock(), mainPB.NewBlock(), mainPB.NewBlock(), mainPB.NewBlock(), mainPB.NewBlock()
+		const i, c, a, b2, s, acc = 1, 2, 3, 4, 5, 6
+		entry.Add(ir.MovI(i, 60), ir.MovI(acc, 0))
+		entry.Jmp(head.ID())
+		head.Add(ir.CmpGTI(c, i, 0))
+		head.Br(c, body.ID(), exit.ID())
+		body.Call(a, loopA.ID(), latch.ID(), i)
+		latch.Call(b2, loopB.ID(), ir.NoBlock, i)
+		latch.Add(ir.Add(acc, acc, a), ir.Add(acc, acc, b2))
+		latch.Call(s, swproc.ID(), ir.NoBlock, i)
+		latch.Add(ir.Add(acc, acc, s), ir.AddI(i, i, -1))
+		latch.Jmp(head.ID())
+		exit.Add(ir.Emit(acc))
+		exit.Ret(acc)
+	}
+
+	bd.Data(0, 2, 7, 1, 8, 2, 8, 1, 8)
+	bd.SetMain(mainPB.ID())
+	return bd.Finish()
+}
+
+// TestFormParallelMatchesSerial pins the determinism contract of the
+// Parallelism knob: formation at any worker count must produce the
+// same transformed program, the same superblock partition, and the
+// same stats, proc for proc and block for block.
+func TestFormParallelMatchesSerial(t *testing.T) {
+	prog := multiProcProg()
+	e, p := profiles(t, prog)
+
+	for _, method := range []Method{EdgeBased, PathBased} {
+		var base *Result
+		var baseDump string
+		for _, par := range []int{1, 0, 2, 8} {
+			cfg := DefaultConfig()
+			cfg.Method = method
+			cfg.Edge, cfg.Path = e, p
+			cfg.MinExecFreq = 2
+			cfg.Parallelism = par
+			res, err := Form(prog, cfg)
+			if err != nil {
+				t.Fatalf("%v/parallelism=%d: %v", method, par, err)
+			}
+			dump := res.Prog.Dump()
+			if base == nil {
+				base, baseDump = res, dump
+				continue
+			}
+			if dump != baseDump {
+				t.Fatalf("%v/parallelism=%d: transformed program differs from serial", method, par)
+			}
+			if !reflect.DeepEqual(res.Stats, base.Stats) {
+				t.Fatalf("%v/parallelism=%d: stats %+v != serial %+v", method, par, res.Stats, base.Stats)
+			}
+			if !reflect.DeepEqual(res.Superblocks, base.Superblocks) {
+				t.Fatalf("%v/parallelism=%d: superblock partition differs from serial", method, par)
+			}
+		}
+		mustBehaveSame(t, prog, base.Prog)
+	}
+}

@@ -85,7 +85,7 @@ func (f *former) cloneTail(sb *Superblock, i int) *Superblock {
 	for j := 0; j < len(clones)-1; j++ {
 		ir.RedirectEdges(f.proc.Block(clones[j]), tail[j+1], clones[j+1])
 	}
-	f.res.Stats.TailDups += len(clones)
+	f.stats.TailDups += len(clones)
 	chain := &Superblock{
 		ID:     len(f.sbs),
 		Proc:   f.proc.ID,

@@ -1,0 +1,730 @@
+package interp
+
+import (
+	"pathsched/internal/ir"
+)
+
+// This file implements the decode half of the pre-decoded execution
+// engine. A program is decoded exactly once into flat, cache-resident
+// per-procedure arrays:
+//
+//   - every block's instructions live in one contiguous code array,
+//     addressed by a dense [lo,hi) index range per block;
+//   - branch targets are resolved at decode time into specialized
+//     opcodes (a mid-block exit branch whose fall-through slot is
+//     ir.NoBlock becomes its own opcode, so the hot loop never
+//     re-tests continuation slots);
+//   - all per-departure accounting — the cycle charge, superblock exit
+//     units, and the DynBranches/Calls credit for the instructions a
+//     departure retires (which the reference engine recomputes or
+//     increments instruction by instruction) — is precomputed into one
+//     exit record per code index, so the hot loop touches no counters;
+//   - call argument registers, call descriptors and switch jump tables
+//     are flattened into per-procedure pools;
+//   - the register-frame size (MaxReg+1, an O(proc) scan the seed
+//     engine performed on every activation) is computed once.
+//
+// The execution half lives in exec.go.
+
+// dop is a decoded opcode. ALU/memory ops map 1:1 from ir.Opcode;
+// control ops are specialized by which continuation slots were
+// resolved to ir.NoBlock at decode time.
+type dop uint8
+
+const (
+	dNop dop = iota
+	dMovI
+	dMov
+	dAdd
+	dSub
+	dMul
+	dAnd
+	dOr
+	dXor
+	dShl
+	dShr
+	dAddI
+	dMulI
+	dAndI
+	dOrI
+	dXorI
+	dShlI
+	dShrI
+	dCmpEQ
+	dCmpNE
+	dCmpLT
+	dCmpLE
+	dCmpEQI
+	dCmpNEI
+	dCmpLTI
+	dCmpLEI
+	dCmpGTI
+	dCmpGEI
+	dLoad
+	dLoadSpec // speculative: unmapped address yields 0, never faults
+	dStore
+	dEmit
+	dBr        // both targets are real blocks
+	dBrTakenFT // taken slot is NoBlock: condition true falls through
+	dBrElseFT  // not-taken slot is NoBlock: condition false falls through
+	dBrBothFT  // both slots NoBlock: counts a branch, always falls through
+	dJmp
+	dSwitch
+	dCall   // continuation slot is a real block
+	dCallFT // continuation slot is NoBlock: falls through in-block
+	dRet
+	dBad     // unknown ir.Opcode: reproduces the reference runtime error
+	dBadCall // call to an out-of-range or missing proc (imm = raw callee id)
+	dFellOff // sentinel appended after every block (imm = block id): the
+	// executor is a single flat program-counter loop, and running past a
+	// block's last instruction lands here, producing the reference
+	// engine's "control fell off end" error.
+
+	// Fused compare+branch superinstructions. When a compare is
+	// immediately followed by a dBr conditioned on its destination —
+	// the closing pattern of nearly every loop block — the decoder
+	// rewrites the compare's opcode to the fused form. The branch slot
+	// stays in place (the fused case reads its packed targets from
+	// code[i+1] and exits through the branch's own index, so the exit
+	// records need no adjustment); it just never gets its own dispatch.
+	dCmpEQBr
+	dCmpNEBr
+	dCmpLTBr
+	dCmpLEBr
+	dCmpEQIBr
+	dCmpNEIBr
+	dCmpLTIBr
+	dCmpLEIBr
+	dCmpGTIBr
+	dCmpGEIBr
+
+	// Pair-tile superinstructions: the decoder greedily tiles adjacent
+	// instruction pairs drawn from the dynamically hottest combinations
+	// (side-exit branch runs and the compare/address arithmetic around
+	// them in scheduled superblocks; the compare/jump idioms of
+	// unscheduled block tails) into one dispatch. The second slot stays
+	// in place — the fused case reads it directly from code — so exit
+	// records, visit counts and observer event order are untouched;
+	// only the dispatch for the second instruction disappears. Tiles
+	// whose name ends in Br consume a fused compare+branch as their
+	// second instruction (three ir instructions, one dispatch). BrFT
+	// tiles cover both fall-through branch polarities via the src2
+	// polarity byte (see decodeInstr).
+	dBrFTBrFT
+	dBrFTMov
+	dBrFTCmpEQI
+	dMovBrFT
+	dAddIBrFT
+	dCmpEQICmpEQI
+	dCmpLTIAndI
+	dLoadSpecAddI
+	dAndILoadSpec
+	dAddIAddI
+	dCmpEQIAddI
+	dAddIJmp
+	dMovIJmp
+	dMovJmp
+	dAndICmpEQI
+	dAddICmpEQI
+	dAndICmpEQIBr
+	dAddICmpEQIBr
+	dLoadAddI
+	dMovMov
+	dMovLoadSpec
+	dAndIMov
+	dCmpEQICmpLTI
+	dLoadSpecCmpEQI
+	dMovIAddI
+	dAndIJmp
+
+	// Run superinstructions: three or more consecutive instructions of
+	// the same kind — the side-exit branch chains closing scheduled
+	// superblocks, and the compare/copy bursts trace scheduling packs
+	// together — execute under a single dispatch. The run length is
+	// stashed in an operand byte the head instruction does not use
+	// (dst for branches, src2 for compares and moves); the remaining
+	// slots stay in place and keep their exit records, exactly like
+	// pair tiles.
+	dBrFTRun
+	dCmpEQIRun
+	dMovRun
+
+	// Unit patterns: wider fixed shapes the scheduler emits many times
+	// per superblock. dLoadUnit covers the four-instruction speculative
+	// load unit — bounds compare (dCmpLTI), mask (dAndI), speculative
+	// load (dLoadSpec), pointer step (dAddI) — and dLoadUnitBr extends
+	// it with the side-exit branch that closes the unit. dMovBrFTMov is
+	// a copy straddling a side exit. As with pair tiles, every body
+	// slot stays in place with its own exit record.
+	dLoadUnit
+	dLoadUnitBr
+	dMovBrFTMov
+)
+
+// tiles maps an adjacent opcode pair to its pair-tile superinstruction.
+var tiles = map[[2]dop]dop{
+	{dBrTakenFT, dBrTakenFT}: dBrFTBrFT,
+	{dBrTakenFT, dBrElseFT}:  dBrFTBrFT,
+	{dBrElseFT, dBrTakenFT}:  dBrFTBrFT,
+	{dBrElseFT, dBrElseFT}:   dBrFTBrFT,
+	{dBrTakenFT, dMov}:       dBrFTMov,
+	{dBrElseFT, dMov}:        dBrFTMov,
+	{dBrTakenFT, dCmpEQI}:    dBrFTCmpEQI,
+	{dBrElseFT, dCmpEQI}:     dBrFTCmpEQI,
+	{dMov, dBrTakenFT}:       dMovBrFT,
+	{dMov, dBrElseFT}:        dMovBrFT,
+	{dAddI, dBrTakenFT}:      dAddIBrFT,
+	{dAddI, dBrElseFT}:       dAddIBrFT,
+	{dCmpEQI, dCmpEQI}:       dCmpEQICmpEQI,
+	{dCmpLTI, dAndI}:         dCmpLTIAndI,
+	{dLoadSpec, dAddI}:       dLoadSpecAddI,
+	{dAndI, dLoadSpec}:       dAndILoadSpec,
+	{dAddI, dAddI}:           dAddIAddI,
+	{dCmpEQI, dAddI}:         dCmpEQIAddI,
+	{dAddI, dJmp}:            dAddIJmp,
+	{dMovI, dJmp}:            dMovIJmp,
+	{dMov, dJmp}:             dMovJmp,
+	{dAndI, dCmpEQI}:         dAndICmpEQI,
+	{dAddI, dCmpEQI}:         dAddICmpEQI,
+	{dAndI, dCmpEQIBr}:       dAndICmpEQIBr,
+	{dAddI, dCmpEQIBr}:       dAddICmpEQIBr,
+	{dLoad, dAddI}:           dLoadAddI,
+	{dMov, dMov}:             dMovMov,
+	{dMov, dLoadSpec}:        dMovLoadSpec,
+	{dAndI, dMov}:            dAndIMov,
+	{dCmpEQI, dCmpLTI}:       dCmpEQICmpLTI,
+	{dLoadSpec, dCmpEQI}:     dLoadSpecCmpEQI,
+	{dMovI, dAddI}:           dMovIAddI,
+	{dAndI, dJmp}:            dAndIJmp,
+}
+
+// fusedBr maps a compare opcode to its fused compare+branch form, or
+// dNop (zero) when the opcode is not a compare.
+var fusedBr = [dCmpGEIBr + 1]dop{
+	dCmpEQ: dCmpEQBr, dCmpNE: dCmpNEBr, dCmpLT: dCmpLTBr, dCmpLE: dCmpLEBr,
+	dCmpEQI: dCmpEQIBr, dCmpNEI: dCmpNEIBr, dCmpLTI: dCmpLTIBr,
+	dCmpLEI: dCmpLEIBr, dCmpGTI: dCmpGTIBr, dCmpGEI: dCmpGEIBr,
+}
+
+// dinstr is one decoded instruction: 16 bytes, four to a cache line,
+// no pointers into the ir.Instr it came from. Register operands are
+// narrowed to uint8 so the executor can index its fixed *[256]int64
+// frame without bounds checks (a uint8 cannot reach 256); procedures
+// with wider register files fall back to the reference engine (see
+// NewEngine). ALU/memory ops use imm as the literal operand; control
+// ops overload it:
+//
+//	dBr        imm = taken index (low 32) | not-taken index (high 32)
+//	dBrTakenFT imm = not-taken block index
+//	dBrElseFT  imm = taken block index
+//	dJmp       imm = target block index
+//	dSwitch    imm = index into dproc.tables
+//	dCall(.FT) imm = index into dproc.calls
+//	dBad       imm = the raw ir.Opcode, for the error message
+type dinstr struct {
+	op   dop
+	dst  uint8
+	src1 uint8
+	src2 uint8
+	imm  int64
+}
+
+// dcall is the cold descriptor of one call site.
+type dcall struct {
+	callee       int32
+	cont         int32 // continuation block index; ir.NoBlock = fall through
+	argLo, argHi int32 // slice of dproc.args holding argument registers
+}
+
+// dexit is the accounting for leaving a block via code index i. Every
+// counter a departure implies is a decode-time constant of (block, i),
+// so the executor only tallies how often each exit was taken and the
+// Result is reconstructed at the end of the run as
+// Σ count(i) × exits[i] (see dmachine.flushCounts — all Result
+// counters are commutative sums, so deferring them is exact):
+// n is the retired instruction count exit-lo+1; cycles the reference
+// engine's leaveBlock charge; units the superblock exit credit (0 =
+// not in a merged superblock); branches and calls the
+// DynBranches/Calls counts the reference engine accumulated one
+// instruction at a time over [block.lo, i]; sbEntry and sbSize the
+// entry-time superblock bookkeeping (a block entered is always
+// departed exactly once, so charging it per exit is equivalent —
+// error paths abandon the Result either way).
+type dexit struct {
+	cycles   int64
+	n        int32
+	units    int32
+	branches int32
+	calls    int32
+	sbEntry  int32
+	sbSize   int32
+}
+
+// dblock is the per-block record: its code range plus the entry-time
+// bookkeeping and the shape stamp EngineFor revalidates on cache hits.
+type dblock struct {
+	id      ir.BlockID
+	lo, hi  int32
+	addr    int64 // byte address of the first instruction (fetch model)
+	sbEnter bool  // SBSize > 0 && SBIndex == 0: counts an SB entry
+	sbSize  int32
+	sched   bool  // Cycles != nil when decoded (shape stamp)
+	span    int32 // Span when decoded (shape stamp)
+}
+
+// dproc is one decoded procedure.
+type dproc struct {
+	id       ir.ProcID
+	name     string
+	missing  bool // Procs slot was nil; calling it errors like the reference
+	frameLen int  // MaxReg()+1, computed once instead of per activation
+	entry    int32
+	blocks   []dblock
+	code     []dinstr
+	exits    []dexit // parallel to code; see dexit
+
+	// ranges[j] packs blocks[j]'s code range as lo | hi<<32: the only
+	// per-block state the unhooked hot loop needs, eight blocks to a
+	// cache line. The full dblock is consulted only on observer, fetch
+	// and error paths.
+	ranges []int64
+
+	tables [][]int32 // switch jump tables (block index, -1 = fall through)
+	calls  []dcall   // call-site descriptors
+	args   []uint8   // flattened call argument registers
+
+	// wide is set when any register operand falls outside [0, 255] —
+	// unrepresentable in dinstr's uint8 fields — and routes the whole
+	// program to the reference engine (Engine.fallback).
+	wide bool
+}
+
+// Engine is a program decoded for execution. It is immutable after
+// NewEngine returns, so one engine may serve any number of concurrent
+// Runs (the parallel pipeline relies on this).
+type Engine struct {
+	prog  *ir.Program
+	procs []dproc
+
+	// fallback routes Run to ReferenceRun: some procedure needs more
+	// than the 256 registers the decoded frame carries. Register
+	// pressure that high never survives the scheduler, so this path
+	// exists for IR-level robustness, not performance.
+	fallback bool
+}
+
+// NewEngine decodes prog. The program is read, never mutated.
+func NewEngine(prog *ir.Program) *Engine {
+	e := &Engine{prog: prog, procs: make([]dproc, len(prog.Procs))}
+	for i, p := range prog.Procs {
+		decodeProc(&e.procs[i], p)
+	}
+	for i := range e.procs {
+		if e.procs[i].wide || e.procs[i].frameLen > 256 {
+			e.fallback = true
+		}
+	}
+	// Callee validation pass: calls to out-of-range or missing procs
+	// become dBadCall, so the executor's call fast path needs no bounds
+	// or missing checks — the error (identical to the reference's)
+	// fires if and when such a call actually executes.
+	for i := range e.procs {
+		d := &e.procs[i]
+		for j := range d.code {
+			if op := d.code[j].op; op == dCall || op == dCallFT {
+				c := d.calls[d.code[j].imm]
+				if c.callee < 0 || int(c.callee) >= len(e.procs) || e.procs[c.callee].missing {
+					d.code[j].op = dBadCall
+					d.code[j].imm = int64(c.callee)
+				}
+			}
+		}
+	}
+	return e
+}
+
+// EngineFor returns the memoized engine for prog, decoding on first
+// use. The decode is stored on the program itself (ir.Program's exec
+// cache), so every run of one build — the reference run, each scheme's
+// measurement run, layout-profiling runs, benchmark iterations —
+// shares a single decode, and the cache dies with the program.
+//
+// A hit is revalidated against the program's block shape (instruction
+// counts, Addr, Span, superblock metadata), which catches the
+// legitimate post-run mutations in this codebase (layout re-assigning
+// addresses, compaction annotating schedules). Callers that mutate
+// instruction *contents* in place after running must drop the cache
+// with prog.StoreExecCache(nil).
+func EngineFor(prog *ir.Program) *Engine {
+	if v := prog.ExecCache(); v != nil {
+		if e, ok := v.(*Engine); ok && e.matches(prog) {
+			return e
+		}
+	}
+	e := NewEngine(prog)
+	prog.StoreExecCache(e)
+	return e
+}
+
+// matches reports whether the engine's decode still reflects prog's
+// shape (see EngineFor).
+func (e *Engine) matches(prog *ir.Program) bool {
+	if e.prog != prog || len(e.procs) != len(prog.Procs) {
+		return false
+	}
+	for i := range e.procs {
+		d, p := &e.procs[i], prog.Procs[i]
+		if p == nil {
+			if !d.missing {
+				return false
+			}
+			continue
+		}
+		if d.missing || len(d.blocks) != len(p.Blocks) {
+			return false
+		}
+		for j := range d.blocks {
+			db, b := &d.blocks[j], p.Blocks[j]
+			if int(db.hi-db.lo) != len(b.Instrs) || db.addr != b.Addr ||
+				db.span != b.Span || db.sbSize != b.SBSize ||
+				db.sched != (b.Cycles != nil) ||
+				db.sbEnter != (b.SBSize > 0 && b.SBIndex == 0) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func decodeProc(d *dproc, p *ir.Proc) {
+	if p == nil {
+		d.missing = true
+		return
+	}
+	d.id, d.name = p.ID, p.Name
+	d.frameLen = int(p.MaxReg()) + 1
+	if len(p.Blocks) > 0 {
+		d.entry = int32(p.Blocks[0].ID)
+	}
+	total := 0
+	for _, b := range p.Blocks {
+		total += len(b.Instrs)
+	}
+	d.blocks = make([]dblock, len(p.Blocks))
+	d.code = make([]dinstr, 0, total+len(p.Blocks))
+	d.exits = make([]dexit, 0, total+len(p.Blocks))
+	d.ranges = make([]int64, len(p.Blocks))
+	for j, b := range p.Blocks {
+		db := &d.blocks[j]
+		db.id = b.ID
+		db.lo = int32(len(d.code))
+		db.addr = b.Addr
+		db.span = b.Span
+		db.sched = b.Cycles != nil
+		db.sbSize = b.SBSize
+		db.sbEnter = b.SBSize > 0 && b.SBIndex == 0
+		var sbEntry, sbSize int32
+		if db.sbEnter {
+			sbEntry, sbSize = 1, b.SBSize
+		}
+		var branches, calls int32
+		for i := range b.Instrs {
+			switch b.Instrs[i].Op {
+			case ir.OpBr, ir.OpSwitch:
+				branches++
+			case ir.OpCall:
+				calls++
+			}
+			d.code = append(d.code, d.decodeInstr(&b.Instrs[i]))
+			d.exits = append(d.exits, dexit{
+				cycles:   exitCyclesFor(b, i),
+				n:        int32(i + 1),
+				units:    exitUnitsFor(b, i),
+				branches: branches,
+				calls:    calls,
+				sbEntry:  sbEntry,
+				sbSize:   sbSize,
+			})
+		}
+		db.hi = int32(len(d.code))
+		d.ranges[j] = int64(db.lo) | int64(db.hi)<<32
+		// Fuse compare+branch pairs within the block (never across a
+		// block boundary: db.hi-1 is the last fusable branch slot).
+		for k := int(db.lo); k+1 < int(db.hi); k++ {
+			if d.code[k+1].op == dBr && d.code[k+1].src1 == d.code[k].dst {
+				if f := fusedBr[d.code[k].op]; f != dNop {
+					d.code[k].op = f
+				}
+			}
+		}
+		// Run detection (before pair tiling, which would break runs
+		// into pairs): ≥3 consecutive fall-through branches, compares
+		// or moves become one run superinstruction.
+		for k := int(db.lo); k < int(db.hi); {
+			op := d.code[k].op
+			isBr := op == dBrTakenFT || op == dBrElseFT
+			if !isBr && op != dCmpEQI && op != dMov {
+				k++
+				continue
+			}
+			j := k + 1
+			for j < int(db.hi) {
+				o := d.code[j].op
+				if isBr && (o == dBrTakenFT || o == dBrElseFT) || !isBr && o == op {
+					j++
+					continue
+				}
+				break
+			}
+			n := j - k
+			if n < 3 || n > 255 {
+				k = j
+				continue
+			}
+			switch {
+			case isBr:
+				d.code[k].op = dBrFTRun
+				d.code[k].dst = uint8(n)
+			case op == dCmpEQI:
+				d.code[k].op = dCmpEQIRun
+				d.code[k].src2 = uint8(n)
+			default:
+				d.code[k].op = dMovRun
+				d.code[k].src2 = uint8(n)
+			}
+			k = j
+		}
+		// Unit patterns (after run detection, which has first claim on
+		// long homogeneous stretches; before pair tiling, which would
+		// split these shapes into pairs): greedy left-to-right match of
+		// the fixed multi-instruction shapes described at the opcode
+		// declarations.
+		for k := int(db.lo); k < int(db.hi); {
+			a := d.code[k].op
+			if a >= dCmpEQBr && a <= dCmpGEIBr {
+				k += 2
+				continue
+			}
+			if a == dBrFTRun {
+				k += int(d.code[k].dst)
+				continue
+			}
+			if a == dCmpEQIRun || a == dMovRun {
+				k += int(d.code[k].src2)
+				continue
+			}
+			if a == dCmpLTI && k+3 < int(db.hi) &&
+				d.code[k+1].op == dAndI && d.code[k+2].op == dLoadSpec && d.code[k+3].op == dAddI {
+				if k+4 < int(db.hi) && (d.code[k+4].op == dBrTakenFT || d.code[k+4].op == dBrElseFT) {
+					d.code[k].op = dLoadUnitBr
+					k += 5
+				} else {
+					d.code[k].op = dLoadUnit
+					k += 4
+				}
+				continue
+			}
+			if a == dMov && k+2 < int(db.hi) &&
+				(d.code[k+1].op == dBrTakenFT || d.code[k+1].op == dBrElseFT) && d.code[k+2].op == dMov {
+				d.code[k].op = dMovBrFTMov
+				k += 3
+				continue
+			}
+			k++
+		}
+		// Greedy left-to-right pair tiling over what fusion, run
+		// detection and unit matching left: each instruction joins at
+		// most one tile, a consumed branch slot (the second half of a
+		// fused compare+branch) is skipped, and run/unit bodies are
+		// never re-tiled.
+		for k := int(db.lo); k+1 < int(db.hi); {
+			a := d.code[k].op
+			if a >= dCmpEQBr && a <= dCmpGEIBr {
+				k += 2 // fused compare + its consumed branch slot
+				continue
+			}
+			if a == dBrFTRun {
+				k += int(d.code[k].dst)
+				continue
+			}
+			if a == dCmpEQIRun || a == dMovRun {
+				k += int(d.code[k].src2)
+				continue
+			}
+			if a == dLoadUnitBr {
+				k += 5
+				continue
+			}
+			if a == dLoadUnit {
+				k += 4
+				continue
+			}
+			if a == dMovBrFTMov {
+				k += 3
+				continue
+			}
+			t, ok := tiles[[2]dop{a, d.code[k+1].op}]
+			if !ok {
+				k++
+				continue
+			}
+			d.code[k].op = t
+			if b := d.code[k+1].op; b >= dCmpEQBr && b <= dCmpGEIBr {
+				k += 3 // tile head + fused compare + its branch slot
+			} else {
+				k += 2
+			}
+		}
+		// A block that is nothing but an unconditional jump — common in
+		// the skeletal control flow unscheduled builds execute — is
+		// marked with the sign bit of its packed range, and its target
+		// replaces the (redundant, always lo+1) hi half. The executor's
+		// transfer tail accounts such blocks inline and chains straight
+		// to the target without a dispatch.
+		if db.hi-db.lo == 1 && d.code[db.lo].op == dJmp {
+			// Only with an in-range target: a bad target keeps normal
+			// dispatch so it reports the reference engine's error.
+			if t := int32(d.code[db.lo].imm); uint32(t) < uint32(len(p.Blocks)) {
+				d.ranges[j] = int64(db.lo) | int64(t)<<32 | (-1 << 63)
+			}
+		}
+		// Block terminator: [lo, hi) excludes the sentinel, so it only
+		// executes when control runs past the last real instruction.
+		d.code = append(d.code, dinstr{op: dFellOff, imm: int64(b.ID)})
+		d.exits = append(d.exits, dexit{})
+	}
+}
+
+// exitCyclesFor precomputes the reference engine's leaveBlock cycle
+// charge for departing b via instruction i.
+func exitCyclesFor(b *ir.Block, i int) int64 {
+	if b.Cycles != nil {
+		if i == len(b.Instrs)-1 {
+			return int64(b.Span)
+		}
+		return int64(b.Cycles[i]) + 1
+	}
+	return int64(i + 1)
+}
+
+// exitUnitsFor precomputes the reference engine's exitUnits credit for
+// departing b via instruction i; 0 marks "not in a merged superblock".
+func exitUnitsFor(b *ir.Block, i int) int32 {
+	if b.SBSize <= 0 {
+		return 0
+	}
+	if b.ExitUnits != nil {
+		if u := b.ExitUnits[i]; u > 0 {
+			return u
+		}
+	}
+	return b.SBSize
+}
+
+var aluOps = [...]struct {
+	src ir.Opcode
+	dst dop
+}{
+	{ir.OpNop, dNop}, {ir.OpMovI, dMovI}, {ir.OpMov, dMov},
+	{ir.OpAdd, dAdd}, {ir.OpSub, dSub}, {ir.OpMul, dMul},
+	{ir.OpAnd, dAnd}, {ir.OpOr, dOr}, {ir.OpXor, dXor},
+	{ir.OpShl, dShl}, {ir.OpShr, dShr},
+	{ir.OpAddI, dAddI}, {ir.OpMulI, dMulI}, {ir.OpAndI, dAndI},
+	{ir.OpOrI, dOrI}, {ir.OpXorI, dXorI}, {ir.OpShlI, dShlI},
+	{ir.OpShrI, dShrI},
+	{ir.OpCmpEQ, dCmpEQ}, {ir.OpCmpNE, dCmpNE}, {ir.OpCmpLT, dCmpLT},
+	{ir.OpCmpLE, dCmpLE}, {ir.OpCmpEQI, dCmpEQI}, {ir.OpCmpNEI, dCmpNEI},
+	{ir.OpCmpLTI, dCmpLTI}, {ir.OpCmpLEI, dCmpLEI}, {ir.OpCmpGTI, dCmpGTI},
+	{ir.OpCmpGEI, dCmpGEI},
+	{ir.OpStore, dStore}, {ir.OpEmit, dEmit},
+}
+
+var aluMap = func() map[ir.Opcode]dop {
+	m := make(map[ir.Opcode]dop, len(aluOps))
+	for _, e := range aluOps {
+		m[e.src] = e.dst
+	}
+	return m
+}()
+
+// reg narrows a register operand to dinstr's uint8 field, flagging the
+// procedure for reference-engine fallback if it does not fit.
+func (d *dproc) reg(r ir.Reg) uint8 {
+	if r < 0 || r > 255 {
+		d.wide = true
+		return 0
+	}
+	return uint8(r)
+}
+
+func (d *dproc) decodeInstr(ins *ir.Instr) dinstr {
+	out := dinstr{dst: d.reg(ins.Dst), src1: d.reg(ins.Src1), src2: d.reg(ins.Src2), imm: ins.Imm}
+	switch ins.Op {
+	case ir.OpLoad:
+		if ins.Spec {
+			out.op = dLoadSpec
+		} else {
+			out.op = dLoad
+		}
+	case ir.OpBr:
+		t0, t1 := ins.Targets[0], ins.Targets[1]
+		switch {
+		case t0 == ir.NoBlock && t1 == ir.NoBlock:
+			out.op = dBrBothFT
+			out.imm = 0
+		case t0 == ir.NoBlock:
+			out.op = dBrTakenFT
+			out.imm = int64(t1)
+			out.src2 = 0 // polarity for pair tiles: jump when condition false
+		case t1 == ir.NoBlock:
+			out.op = dBrElseFT
+			out.imm = int64(t0)
+			out.src2 = 1 // polarity for pair tiles: jump when condition true
+		default:
+			out.op = dBr
+			// Both targets in one word; uint32 keeps the low half from
+			// sign-extending over the high half.
+			out.imm = int64(uint32(t0)) | int64(uint32(t1))<<32
+		}
+	case ir.OpJmp:
+		out.op = dJmp
+		out.imm = int64(ins.Targets[0])
+	case ir.OpSwitch:
+		out.op = dSwitch
+		tab := make([]int32, len(ins.Targets))
+		for k, t := range ins.Targets {
+			tab[k] = int32(t)
+		}
+		out.imm = int64(len(d.tables))
+		d.tables = append(d.tables, tab)
+	case ir.OpCall:
+		out.op = dCall
+		if ins.Targets[0] == ir.NoBlock {
+			out.op = dCallFT
+		}
+		c := dcall{
+			callee: int32(ins.Callee),
+			cont:   int32(ins.Targets[0]),
+			argLo:  int32(len(d.args)),
+		}
+		for _, a := range ins.Args {
+			d.args = append(d.args, d.reg(a))
+		}
+		c.argHi = int32(len(d.args))
+		if int(ir.RegArg0)+len(ins.Args) > 256 {
+			d.wide = true
+		}
+		out.imm = int64(len(d.calls))
+		d.calls = append(d.calls, c)
+	case ir.OpRet:
+		out.op = dRet
+	default:
+		if op, ok := aluMap[ins.Op]; ok {
+			out.op = op
+		} else {
+			out.op = dBad
+			out.imm = int64(ins.Op)
+		}
+	}
+	return out
+}

@@ -224,6 +224,9 @@ func (r *Runner) compileWith(prog *ir.Program, s Scheme, eprof *profile.EdgeProf
 	}
 	cfg := core.DefaultConfig()
 	cfg.Edge, cfg.Path = eprof, pprof
+	// Formation fans out across procedures under the same knob that
+	// bounds scheme fan-out (the Form hook below may still override).
+	cfg.Parallelism = r.opts.Parallelism
 	switch s {
 	case SchemeM4:
 		cfg.Method = core.EdgeBased
@@ -284,14 +287,18 @@ func (r *Runner) runScheme(s Scheme, trainProg, testProg *ir.Program, eprof *pro
 		EdgeFreq:   lprof.EdgeFreq,
 	})
 
-	// Measurement run.
+	// Measurement run. Decoding after layout.Assign means the engine
+	// memoized on testBin (interp caches the decode on the program)
+	// carries final addresses; any later run of this build reuses the
+	// decode instead of re-walking the IR.
+	eng := interp.EngineFor(testBin)
 	cfg := interp.Config{}
 	var cache *machine.ICache
 	if r.opts.Cache != nil {
 		cache = machine.NewICache(*r.opts.Cache)
 		cfg.Fetch = cache
 	}
-	got, err := interp.Run(testBin, cfg)
+	got, err := eng.Run(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("measurement run: %w", err)
 	}

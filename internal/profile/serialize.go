@@ -33,27 +33,19 @@ func (e *EdgeProfile) WriteText() string {
 	sb.WriteString("edgeprofile\n")
 	for pid, pe := range e.procs {
 		fmt.Fprintf(&sb, "proc %d entries=%d\n", pid, pe.entries)
-		ids := make([]ir.BlockID, 0, len(pe.blockCount))
-		for b := range pe.blockCount {
-			ids = append(ids, b)
-		}
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-		for _, b := range ids {
-			fmt.Fprintf(&sb, "block b%d: %d\n", b, pe.blockCount[b])
-		}
-		froms := make([]ir.BlockID, 0, len(pe.succCount))
-		for f := range pe.succCount {
-			froms = append(froms, f)
-		}
-		sort.Slice(froms, func(i, j int) bool { return froms[i] < froms[j] })
-		for _, f := range froms {
-			tos := make([]ir.BlockID, 0, len(pe.succCount[f]))
-			for t := range pe.succCount[f] {
-				tos = append(tos, t)
+		for b, n := range pe.block {
+			if n != 0 {
+				fmt.Fprintf(&sb, "block b%d: %d\n", b, n)
 			}
+		}
+		for f := range pe.succID {
+			tos := make([]ir.BlockID, len(pe.succID[f]))
+			copy(tos, pe.succID[f])
 			sort.Slice(tos, func(i, j int) bool { return tos[i] < tos[j] })
 			for _, t := range tos {
-				fmt.Fprintf(&sb, "edge b%d->b%d: %d\n", f, t, pe.succCount[f][t])
+				if n := e.EdgeFreq(ir.ProcID(pid), ir.BlockID(f), t); n != 0 {
+					fmt.Fprintf(&sb, "edge b%d->b%d: %d\n", f, t, n)
+				}
 			}
 		}
 	}
@@ -99,7 +91,10 @@ func ParseEdgeProfile(nprocs int, text string) (*EdgeProfile, error) {
 			if _, err := fmt.Sscanf(line, "block b%d: %d", &b, &n); err != nil {
 				return nil, fmt.Errorf("profile: line %d: %v", no+2, err)
 			}
-			cur.blockCount[b] = n
+			if b < 0 {
+				return nil, fmt.Errorf("profile: line %d: negative block id", no+2)
+			}
+			cur.addBlock(b, n)
 		case strings.HasPrefix(line, "edge "):
 			if cur == nil {
 				return nil, fmt.Errorf("profile: line %d: edge before proc", no+2)
@@ -109,14 +104,10 @@ func ParseEdgeProfile(nprocs int, text string) (*EdgeProfile, error) {
 			if _, err := fmt.Sscanf(line, "edge b%d->b%d: %d", &f, &t, &n); err != nil {
 				return nil, fmt.Errorf("profile: line %d: %v", no+2, err)
 			}
-			if cur.succCount[f] == nil {
-				cur.succCount[f] = map[ir.BlockID]int64{}
+			if f < 0 || t < 0 {
+				return nil, fmt.Errorf("profile: line %d: negative block id", no+2)
 			}
-			cur.succCount[f][t] = n
-			if cur.predCount[t] == nil {
-				cur.predCount[t] = map[ir.BlockID]int64{}
-			}
-			cur.predCount[t][f] = n
+			cur.addEdge(f, t, n)
 		default:
 			return nil, fmt.Errorf("profile: line %d: unrecognized %q", no+2, line)
 		}

@@ -1,0 +1,181 @@
+// Command benchpipeline measures what the content-addressed
+// compile/layout-profile cache buys an end-to-end RunSuite over all
+// five schemes, and writes the result to BENCH_pipeline.json.
+//
+// Three arms are timed per trial:
+//
+//   - off:  cache disabled (the pre-cache pipeline);
+//   - cold: a fresh cache — wins come from intra-run sharing only
+//     (train==test builds collapse to one compile, and concurrent
+//     workers single-flight duplicate keys);
+//   - warm: the same runner's second RunSuite — every compile and
+//     every layout-profiling interpreter run is served from cache,
+//     which is the ablation-sweep / re-run regime runAblations exploits
+//     by sharing one cache across configs.
+//
+// Like cmd/benchinterp, this expects noisy shared machines: each trial
+// times all arms adjacently (alternating whether the cache-off or the
+// cache-on pair goes first), speedups are medians of per-trial ratios
+// so drift that moves a whole trial cancels, and per-arm times are
+// medians across trials.
+//
+// Usage:
+//
+//	go run ./cmd/benchpipeline [-trials N] [-bench a,b] [-j N] [-o BENCH_pipeline.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"pathsched/internal/bench"
+	"pathsched/internal/pipeline"
+)
+
+type armStats struct {
+	Trials        []float64 `json:"trials_seconds"`
+	MedianSeconds float64   `json:"median_seconds"`
+}
+
+type report struct {
+	Benchmarks      []string `json:"benchmarks"`
+	Schemes         []string `json:"schemes"`
+	TrialCount      int      `json:"trials"`
+	Parallelism     int      `json:"parallelism"`
+	GoVersion       string   `json:"go_version"`
+	GOMAXPROCS      int      `json:"gomaxprocs"`
+	Off             armStats `json:"cache_off"`
+	Cold            armStats `json:"cache_cold"`
+	Warm            armStats `json:"cache_warm"`
+	// Speedups are medians of per-trial off/arm ratios; >1 means the
+	// cached arm finished the suite faster than the cache-off arm of
+	// the same trial.
+	SpeedupCold float64 `json:"speedup_cold_vs_off"`
+	SpeedupWarm float64 `json:"speedup_warm_vs_off"`
+	// Cache counters from the last trial, substantiating where the
+	// time went: cold shows misses+dedups+train==test hits, warm shows
+	// every lookup hitting.
+	ColdStats        string  `json:"cold_cache_stats"`
+	WarmStats        string  `json:"warm_cache_stats"`
+	WallClockSeconds float64 `json:"wall_clock_seconds"`
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func main() {
+	trials := flag.Int("trials", 3, "paired trials (each times all three arms)")
+	benches := flag.String("bench", "", "comma-separated benchmark names (default: whole suite)")
+	jobs := flag.Int("j", 0, "pipeline workers per run (0 = GOMAXPROCS)")
+	out := flag.String("o", "BENCH_pipeline.json", "output file")
+	flag.Parse()
+
+	var names []string
+	if *benches != "" {
+		names = strings.Split(*benches, ",")
+	}
+	schemes := pipeline.AllSchemes()
+
+	runSuite := func(r *pipeline.Runner) (float64, error) {
+		start := time.Now()
+		_, err := r.RunSuite(names, schemes)
+		return time.Since(start).Seconds(), err
+	}
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "benchpipeline:", err)
+		os.Exit(1)
+	}
+
+	rep := &report{
+		TrialCount:  *trials,
+		Parallelism: *jobs,
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+	}
+	for _, s := range schemes {
+		rep.Schemes = append(rep.Schemes, string(s))
+	}
+	rep.Benchmarks = names
+	if rep.Benchmarks == nil {
+		rep.Benchmarks = bench.Names()
+	}
+
+	start := time.Now()
+	var coldRatios, warmRatios []float64
+	for t := 0; t < *trials; t++ {
+		offRunner := pipeline.NewRunner(pipeline.Options{Parallelism: *jobs, DisableProfileCache: true})
+		onRunner := pipeline.NewRunner(pipeline.Options{Parallelism: *jobs})
+
+		var off, cold, warm float64
+		var err error
+		timeOn := func() {
+			if cold, err = runSuite(onRunner); err != nil {
+				fail(err)
+			}
+			if s, ok := onRunner.CacheStats(); ok {
+				rep.ColdStats = s.String()
+			}
+			if warm, err = runSuite(onRunner); err != nil {
+				fail(err)
+			}
+			if s, ok := onRunner.CacheStats(); ok {
+				rep.WarmStats = s.String()
+			}
+		}
+		if t%2 == 0 {
+			if off, err = runSuite(offRunner); err != nil {
+				fail(err)
+			}
+			timeOn()
+		} else {
+			timeOn()
+			if off, err = runSuite(offRunner); err != nil {
+				fail(err)
+			}
+		}
+		rep.Off.Trials = append(rep.Off.Trials, off)
+		rep.Cold.Trials = append(rep.Cold.Trials, cold)
+		rep.Warm.Trials = append(rep.Warm.Trials, warm)
+		coldRatios = append(coldRatios, off/cold)
+		warmRatios = append(warmRatios, off/warm)
+		fmt.Printf("trial %d/%d: off %6.2fs   cold %6.2fs (%.2fx)   warm %6.2fs (%.2fx)\n",
+			t+1, *trials, off, cold, off/cold, warm, off/warm)
+	}
+	rep.Off.MedianSeconds = median(rep.Off.Trials)
+	rep.Cold.MedianSeconds = median(rep.Cold.Trials)
+	rep.Warm.MedianSeconds = median(rep.Warm.Trials)
+	rep.SpeedupCold = median(coldRatios)
+	rep.SpeedupWarm = median(warmRatios)
+	rep.WallClockSeconds = time.Since(start).Seconds()
+
+	fmt.Printf("median: off %.2fs   cold %.2fs (%.2fx)   warm %.2fs (%.2fx)\n",
+		rep.Off.MedianSeconds, rep.Cold.MedianSeconds, rep.SpeedupCold,
+		rep.Warm.MedianSeconds, rep.SpeedupWarm)
+	fmt.Printf("cold cache: %s\nwarm cache: %s\n", rep.ColdStats, rep.WarmStats)
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("wrote %s (wall clock %.1fs)\n", *out, rep.WallClockSeconds)
+}

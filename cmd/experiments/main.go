@@ -37,11 +37,13 @@ func main() {
 		ablate    = flag.Bool("ablate", false, "run design-choice ablations instead of the figures")
 		jsonOut   = flag.Bool("json", false, "emit raw measurements as JSON instead of text reports")
 		jobs      = flag.Int("j", 0, "parallel pipeline workers (0 = GOMAXPROCS, 1 = serial)")
+		cstats    = flag.Bool("cachestats", false, "report compile/layout-profile cache hits, misses, and dedups")
+		nocache   = flag.Bool("nocache", false, "disable the compile/layout-profile cache")
 	)
 	flag.Parse()
 
 	if *ablate {
-		runAblations(*benches, *jobs)
+		runAblations(*benches, *jobs, *cstats, *nocache)
 		return
 	}
 
@@ -50,10 +52,11 @@ func main() {
 	cache := machine.DefaultICache()
 	cache.Ways = *ways
 	runner := pipeline.NewRunner(pipeline.Options{
-		Machine:     mc,
-		Cache:       &cache,
-		PathDepth:   *depth,
-		Parallelism: *jobs,
+		Machine:             mc,
+		Cache:               &cache,
+		PathDepth:           *depth,
+		Parallelism:         *jobs,
+		DisableProfileCache: *nocache,
 	})
 
 	var names []string
@@ -81,6 +84,13 @@ func main() {
 	}
 	fmt.Printf("# pathsched experiments — %d benchmarks, schemes %v, %d worker(s), wall clock %.1fs\n\n",
 		len(results), pipeline.AllSchemes(), workers, time.Since(start).Seconds())
+	if *cstats {
+		if s, ok := runner.CacheStats(); ok {
+			fmt.Printf("# cache: %s\n\n", s)
+		} else {
+			fmt.Printf("# cache: disabled\n\n")
+		}
+	}
 
 	want := map[string]bool{}
 	for _, w := range strings.Split(*only, ",") {
@@ -116,7 +126,11 @@ func main() {
 // compaction optimizations, and footnote 2's upward trace growth.
 // Reported per configuration: geometric mean of P4/M4 ideal cycles
 // over the ablation benchmark set.
-func runAblations(benches string, jobs int) {
+//
+// All configurations share one content-addressed cache, so configs
+// that resolve to identical formation inputs (depth=15 vs baseline)
+// collapse to one compile and one layout-profiling run per benchmark.
+func runAblations(benches string, jobs int, cstats, nocache bool) {
 	names := []string{"alt", "ph", "corr", "wc", "eqn", "m88k"}
 	if benches != "" {
 		names = strings.Split(benches, ",")
@@ -142,8 +156,11 @@ func runAblations(benches string, jobs int) {
 	)
 	fmt.Printf("# ablations over %v (geomean of P4/M4 ideal cycles; lower favors P4)\n\n", names)
 	fmt.Printf("%-14s %10s %14s\n", "config", "P4/M4", "P4 cycles (K)")
+	shared := pipeline.NewCache()
 	for _, c := range configs {
 		c.opts.Parallelism = jobs
+		c.opts.ProfileCache = shared
+		c.opts.DisableProfileCache = nocache
 		runner := pipeline.NewRunner(c.opts)
 		results, err := runner.RunSuite(names, []pipeline.Scheme{pipeline.SchemeM4, pipeline.SchemeP4})
 		if err != nil {
@@ -163,5 +180,8 @@ func runAblations(benches string, jobs int) {
 			geo = math.Pow(geo, 1/float64(n))
 		}
 		fmt.Printf("%-14s %10.3f %14.1f\n", c.label, geo, float64(cycles)/1000)
+	}
+	if cstats && !nocache {
+		fmt.Printf("\n# cache: %s\n", shared.Stats())
 	}
 }

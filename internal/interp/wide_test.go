@@ -1,0 +1,73 @@
+package interp
+
+import (
+	"reflect"
+	"testing"
+
+	"pathsched/internal/ir"
+)
+
+// wideTwin builds a small looping program whose scratch registers
+// start at base: sum = Σ i*3 for i in [0,10), emitted and returned.
+// base 1 yields an ordinary program; base near 300 pushes operands
+// past the decoded engine's 256-register frame.
+func wideTwin(base ir.Reg) *ir.Program {
+	i, sum, tmp, cond := base, base+1, base+2, base+3
+	bd := ir.NewBuilder("wide-twin", 16)
+	p := bd.Proc("main")
+	bs := p.NewBlocks(3)
+	bs[0].Add(ir.MovI(i, 0), ir.MovI(sum, 0))
+	bs[0].Jmp(bs[1].ID())
+	bs[1].Add(
+		ir.MulI(tmp, i, 3),
+		ir.Add(sum, sum, tmp),
+		ir.AddI(i, i, 1),
+		ir.CmpLTI(cond, i, 10),
+	)
+	bs[1].Br(cond, bs[1].ID(), bs[2].ID())
+	bs[2].Add(ir.Emit(sum))
+	bs[2].Ret(sum)
+	return bd.Program()
+}
+
+// TestWideRegisterFallback pins the decoded engine's escape hatch: a
+// procedure whose register file exceeds the 256-register decoded frame
+// must route Run through ReferenceRun (Engine.fallback) and still
+// behave exactly like a narrow twin of the same program.
+func TestWideRegisterFallback(t *testing.T) {
+	narrow, wide := wideTwin(1), wideTwin(297)
+	if err := ir.Verify(narrow); err != nil {
+		t.Fatal(err)
+	}
+	if err := ir.Verify(wide); err != nil {
+		t.Fatal(err)
+	}
+
+	if e := EngineFor(narrow); e.fallback {
+		t.Fatal("narrow twin (max reg 4) should use the decoded engine")
+	}
+	we := EngineFor(wide)
+	if !we.fallback {
+		t.Fatal("max reg 300 exceeds the 256-register decoded frame; engine should fall back")
+	}
+	for i, d := range we.procs {
+		if d.frameLen > 256 && !we.fallback {
+			t.Fatalf("proc %d: frameLen %d > 256 without fallback", i, d.frameLen)
+		}
+	}
+
+	// Run on the wide program must equal ReferenceRun on it (fallback
+	// delegates, including under an observer), and both twins must
+	// compute the same answer.
+	wideRes := diffRun(t, "wide", wide)
+	narrowRes := diffRun(t, "narrow", narrow)
+	if wideRes.Ret != narrowRes.Ret {
+		t.Fatalf("twins diverge: wide ret %d, narrow ret %d", wideRes.Ret, narrowRes.Ret)
+	}
+	if !reflect.DeepEqual(wideRes.Output, narrowRes.Output) {
+		t.Fatalf("twins diverge: wide output %v, narrow output %v", wideRes.Output, narrowRes.Output)
+	}
+	if want := int64(135); wideRes.Ret != want {
+		t.Fatalf("ret = %d, want %d", wideRes.Ret, want)
+	}
+}

@@ -1,0 +1,177 @@
+package ir
+
+import (
+	"testing"
+)
+
+// FuzzFingerprint checks the two properties the pipeline cache rests
+// on: cloning a program never changes its fingerprint, and any single
+// structural mutation does — except permuting non-overlapping data
+// segments, which the canonical segment order deliberately ignores.
+//
+// The fuzz input is a mutation script: byte 0 selects the mutation
+// kind, the remaining bytes parameterize it (which proc/block/instr,
+// what delta). Every script is applied to a fresh clone of the same
+// base program, so the fuzzer explores the mutation space rather than
+// unconstrained IR.
+func FuzzFingerprint(f *testing.F) {
+	for kind := byte(0); kind < fuzzMutationKinds; kind++ {
+		f.Add([]byte{kind})
+		f.Add([]byte{kind, 1, 2, 3})
+		f.Add([]byte{kind, 0xff, 0x80, 0x7f, 5})
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		base := fpBaseProgram()
+		h0 := Fingerprint(base)
+		if Fingerprint(CloneProgram(base)) != h0 {
+			t.Fatal("cloning the base program changed its fingerprint")
+		}
+
+		mut := CloneProgram(base)
+		changed, wantSame := applyFuzzMutation(mut, data)
+		if !changed {
+			return
+		}
+		h1 := Fingerprint(mut)
+		if wantSame && h1 != h0 {
+			t.Fatalf("mutation %d should be hash-neutral but changed the digest", data[0]%fuzzMutationKinds)
+		}
+		if !wantSame && h1 == h0 {
+			t.Fatalf("structural mutation %d did not change the digest", data[0]%fuzzMutationKinds)
+		}
+
+		// Same script on a fresh clone must land on the same digest:
+		// the hash is a pure function of structure.
+		mut2 := CloneProgram(base)
+		applyFuzzMutation(mut2, data)
+		if Fingerprint(mut2) != h1 {
+			t.Fatal("fingerprint is not deterministic across identical mutations")
+		}
+	})
+}
+
+const fuzzMutationKinds = 10
+
+// fuzzCursor doles out script bytes, yielding zero once exhausted so
+// every script prefix is a valid (if boring) parameterization.
+type fuzzCursor struct {
+	data []byte
+	pos  int
+}
+
+func (c *fuzzCursor) next() byte {
+	if c.pos >= len(c.data) {
+		return 0
+	}
+	b := c.data[c.pos]
+	c.pos++
+	return b
+}
+
+// applyFuzzMutation mutates prog per the script. It reports whether
+// anything changed and whether the change must leave the fingerprint
+// intact (only true for non-overlapping data-segment permutation).
+func applyFuzzMutation(prog *Program, data []byte) (changed, wantSame bool) {
+	if len(data) == 0 {
+		return false, false
+	}
+	cur := &fuzzCursor{data: data[1:]}
+	pr := prog.Procs[1] // "main": the structurally rich proc
+	pick := func(n int) int {
+		if n <= 0 {
+			return 0
+		}
+		return int(cur.next()) % n
+	}
+	switch data[0] % fuzzMutationKinds {
+	case 0: // swap the operands of a three-address instruction
+		ins := &pr.Blocks[0].Instrs[1] // Load: Src1 used, Src2 zero
+		ins.Src1, ins.Src2 = ins.Src2, ins.Src1
+		return true, false
+	case 1: // flip a terminator target
+		b := pr.Blocks[pick(len(pr.Blocks))]
+		term := b.Terminator()
+		if term == nil || len(term.Targets) == 0 {
+			return false, false
+		}
+		i := pick(len(term.Targets))
+		term.Targets[i] += BlockID(1 + pick(7))
+		return true, false
+	case 2: // edit a data byte
+		if len(prog.Data) == 0 {
+			return false, false
+		}
+		seg := &prog.Data[pick(len(prog.Data))]
+		if len(seg.Values) == 0 {
+			return false, false
+		}
+		seg.Values[pick(len(seg.Values))] ^= 1 << (cur.next() % 63)
+		return true, false
+	case 3: // change an immediate
+		b := pr.Blocks[pick(len(pr.Blocks))]
+		if len(b.Instrs) == 0 {
+			return false, false
+		}
+		b.Instrs[pick(len(b.Instrs))].Imm += int64(1 + pick(255))
+		return true, false
+	case 4: // toggle the speculative flag
+		ins := &pr.Blocks[0].Instrs[pick(len(pr.Blocks[0].Instrs))]
+		ins.Spec = !ins.Spec
+		return true, false
+	case 5: // replace an opcode with a different one
+		ins := &pr.Blocks[0].Instrs[0] // MovI
+		if ins.Op == OpNop {
+			ins.Op = OpMov
+		} else {
+			ins.Op = OpNop
+		}
+		return true, false
+	case 6: // append an instruction
+		b := pr.Blocks[pick(len(pr.Blocks))]
+		n := len(b.Instrs)
+		b.Instrs = append(b.Instrs[:n-1:n-1], Nop(), b.Instrs[n-1])
+		return true, false
+	case 7: // permute data segments: hash-neutral iff none overlap
+		if len(prog.Data) < 2 {
+			return false, false
+		}
+		if fuzzSegsOverlap(prog.Data) {
+			return false, false
+		}
+		i, j := pick(len(prog.Data)), pick(len(prog.Data))
+		prog.Data[i], prog.Data[j] = prog.Data[j], prog.Data[i]
+		// Swapping a segment with itself (or an identical twin) is a
+		// no-op, but a no-op trivially satisfies "hash unchanged".
+		return true, true
+	case 8: // grow the memory image
+		prog.MemSize += int64(1 + pick(255))
+		return true, false
+	default: // toggle schedule metadata on the annotated block
+		b := pr.Blocks[3]
+		if b.Cycles == nil {
+			b.Cycles = make([]int32, len(b.Instrs))
+		} else {
+			b.Cycles = nil
+		}
+		return true, false
+	}
+}
+
+// fuzzSegsOverlap reports whether any two data segments touch the same
+// word (memory is word-addressed: a segment covers [Addr,
+// Addr+len(Values))); overlapping declarations are order-sensitive in
+// initMem, so only overlap-free programs get the hash-neutral
+// permutation guarantee.
+func fuzzSegsOverlap(segs []DataSeg) bool {
+	for i := range segs {
+		for j := i + 1; j < len(segs); j++ {
+			a, b := segs[i], segs[j]
+			aEnd := a.Addr + int64(len(a.Values))
+			bEnd := b.Addr + int64(len(b.Values))
+			if a.Addr < bEnd && b.Addr < aEnd {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,228 @@
+package pipeline
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"sync"
+
+	"pathsched/internal/core"
+	"pathsched/internal/ir"
+	"pathsched/internal/layout"
+	"pathsched/internal/profile"
+)
+
+// Cache is a content-addressed memo of the two expensive steps every
+// scheme's layout stage repeats: compiling (forming + compacting) a
+// pristine build under a formation config, and layout-profiling the
+// resulting transformed training build.
+//
+// Entries are addressed purely by structural fingerprints, never by
+// benchmark or scheme name, so any two schemes, ablation configs, or
+// runners that arrive at the same bytes share one computation:
+//
+//   - compile entries are keyed by (pristine-build fingerprint,
+//     training-build fingerprint, config digest) — see compileKey —
+//     and hold an immutable master of the compiled program, which
+//     consumers clone before mutating;
+//   - layout entries are keyed by the fingerprint of the *formed*
+//     training build and hold its frozen layout profile (block and
+//     edge frequencies plus dynamic call counts). P4 and P4e form
+//     byte-identical programs on benchmarks with no non-loop heads,
+//     so their configs miss the compile cache but their formed builds
+//     collide here, and one training run serves both.
+//
+// Lookups are single-flight: the first goroutine to miss a key
+// computes it while any concurrent worker asking for the same key
+// blocks on the entry instead of duplicating the work (a "dedup" in
+// CacheStats). Masters and profiles are immutable once published, so
+// any number of workers may read one entry concurrently; the
+// differential tests pin cache-on results byte-identical to the
+// cache-off serial pipeline.
+//
+// A Cache may be shared across Runners (ablation sweeps pass one cache
+// to every config's runner) and is safe for concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	compiles map[ir.Digest]*entry[*compiled]
+	layouts  map[ir.Digest]*entry[*layoutProfile]
+	stats    struct {
+		sync.Mutex
+		s CacheStats
+	}
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{
+		compiles: map[ir.Digest]*entry[*compiled]{},
+		layouts:  map[ir.Digest]*entry[*layoutProfile]{},
+	}
+}
+
+// CacheStats counts cache outcomes. A "hit" found a completed entry, a
+// "miss" computed one, and a "dedup" found another worker already
+// computing the same key and waited for it instead of recomputing.
+type CacheStats struct {
+	CompileHits   int64
+	CompileMisses int64
+	CompileDedups int64
+	LayoutHits    int64
+	LayoutMisses  int64
+	LayoutDedups  int64
+}
+
+// String renders the counters for the -cachestats report.
+func (s CacheStats) String() string {
+	return fmt.Sprintf("compile %d hits / %d misses / %d dedups; layout-profile %d hits / %d misses / %d dedups",
+		s.CompileHits, s.CompileMisses, s.CompileDedups,
+		s.LayoutHits, s.LayoutMisses, s.LayoutDedups)
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() CacheStats {
+	c.stats.Lock()
+	defer c.stats.Unlock()
+	return c.stats.s
+}
+
+// compiled is an immutable compile-cache value: the master program
+// (never handed to callers directly — they clone it), its structural
+// fingerprint (which keys the layout cache without re-hashing), and
+// the formation stats the measurement reports.
+type compiled struct {
+	master *ir.Program
+	fp     ir.Digest
+	stats  core.Stats
+}
+
+// layoutProfile is an immutable layout-cache value: the frozen weights
+// layout.Assign consumes, gathered from one training run of a formed
+// build. The profile and call-count map are read-only after the run
+// completes, so one value may serve any number of schemes at once.
+type layoutProfile struct {
+	calls map[[2]ir.ProcID]int64
+	prof  *profile.EdgeProfile
+}
+
+// input adapts the cached weights to layout.Assign's interface.
+func (lp *layoutProfile) input() layout.Input {
+	return layout.Input{
+		CallCounts: lp.calls,
+		BlockFreq:  lp.prof.BlockFreq,
+		EdgeFreq:   lp.prof.EdgeFreq,
+	}
+}
+
+// keyWriter frames cache-key components into a sha256, with the same
+// length-prefixing discipline as ir.Fingerprint.
+type keyWriter struct {
+	h   hash.Hash
+	buf [8]byte
+}
+
+func newKeyWriter() *keyWriter { return &keyWriter{h: sha256.New()} }
+
+func (w *keyWriter) u64(v uint64) {
+	binary.LittleEndian.PutUint64(w.buf[:], v)
+	w.h.Write(w.buf[:])
+}
+
+func (w *keyWriter) str(s string) {
+	w.u64(uint64(len(s)))
+	w.h.Write([]byte(s))
+}
+
+func (w *keyWriter) bool(b bool) {
+	if b {
+		w.u64(1)
+	} else {
+		w.u64(0)
+	}
+}
+
+func (w *keyWriter) digest(d ir.Digest) { w.h.Write(d[:]) }
+
+func (w *keyWriter) sum() ir.Digest {
+	var d ir.Digest
+	w.h.Sum(d[:0])
+	return d
+}
+
+// entry is a single-flight cell: ready is closed once val/err are
+// published, after which both are immutable.
+type entry[V any] struct {
+	ready chan struct{}
+	val   V
+	err   error
+}
+
+// outcome classifies one lookup for the stats counters.
+type outcome int
+
+const (
+	outcomeHit outcome = iota
+	outcomeMiss
+	outcomeDedup
+)
+
+// lookup returns m[key], computing it via build at most once across
+// all concurrent callers. Errors are cached like values: a key that
+// failed to build keeps failing without re-running build (the pipeline
+// aborts the whole run on the first error anyway).
+func lookup[V any](c *Cache, m map[ir.Digest]*entry[V], key ir.Digest, build func() (V, error)) (V, outcome, error) {
+	c.mu.Lock()
+	e, ok := m[key]
+	if ok {
+		c.mu.Unlock()
+		out := outcomeDedup
+		select {
+		case <-e.ready:
+			out = outcomeHit // already complete: no waiting involved
+		default:
+		}
+		<-e.ready
+		return e.val, out, e.err
+	}
+	e = &entry[V]{ready: make(chan struct{})}
+	m[key] = e
+	c.mu.Unlock()
+
+	defer close(e.ready)
+	e.val, e.err = build()
+	return e.val, outcomeMiss, e.err
+}
+
+// compile memoizes one formed+compacted build.
+func (c *Cache) compile(key ir.Digest, build func() (*compiled, error)) (*compiled, error) {
+	v, out, err := lookup(c, c.compiles, key, build)
+	c.stats.Lock()
+	switch out {
+	case outcomeHit:
+		c.stats.s.CompileHits++
+	case outcomeMiss:
+		c.stats.s.CompileMisses++
+	case outcomeDedup:
+		c.stats.s.CompileDedups++
+	}
+	c.stats.Unlock()
+	return v, err
+}
+
+// layout memoizes one layout-profiling run, keyed by the fingerprint
+// of the formed training build it profiles.
+func (c *Cache) layout(key ir.Digest, build func() (*layoutProfile, error)) (*layoutProfile, error) {
+	v, out, err := lookup(c, c.layouts, key, build)
+	c.stats.Lock()
+	switch out {
+	case outcomeHit:
+		c.stats.s.LayoutHits++
+	case outcomeMiss:
+		c.stats.s.LayoutMisses++
+	case outcomeDedup:
+		c.stats.s.LayoutDedups++
+	}
+	c.stats.Unlock()
+	return v, err
+}

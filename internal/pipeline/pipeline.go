@@ -25,6 +25,15 @@
 // assembled in input order regardless of completion order, so parallel
 // and serial runs produce identical output. Options.Parallelism
 // controls the pool (1 reproduces the historical serial order).
+//
+// Determinism also enables memoization: a content-addressed Cache
+// (cache.go) keys each scheme's compile by structural fingerprints of
+// its inputs and each layout-profiling run by the fingerprint of the
+// formed training build, with single-flight deduplication across
+// concurrent workers. Schemes or ablation configs that form identical
+// programs share one compile and one training run; the differential
+// golden tests pin cached results byte-identical to the uncached
+// serial pipeline.
 package pipeline
 
 import (
@@ -87,6 +96,15 @@ type Options struct {
 	// runtime.GOMAXPROCS(0); 1 reproduces the historical serial
 	// execution order exactly. Results are identical at any setting.
 	Parallelism int
+	// ProfileCache is the content-addressed compile/layout-profile
+	// cache (see Cache). Nil means NewRunner creates a private cache;
+	// pass one cache to several runners to share compiles across
+	// ablation configs. Results are identical with or without it.
+	ProfileCache *Cache
+	// DisableProfileCache turns memoization off entirely, restoring the
+	// historical every-scheme-recompiles behavior. The differential
+	// tests pin cached runs byte-identical to this path.
+	DisableProfileCache bool
 }
 
 // Measurement is one (benchmark, scheme) data point.
@@ -129,7 +147,8 @@ type Result struct {
 // Runner caches per-benchmark training state so several schemes reuse
 // one profiling run.
 type Runner struct {
-	opts Options
+	opts  Options
+	cache *Cache // nil when caching is disabled
 }
 
 // NewRunner returns a runner with the given options.
@@ -145,7 +164,22 @@ func NewRunner(opts Options) *Runner {
 	if opts.Parallelism <= 0 {
 		opts.Parallelism = runtime.GOMAXPROCS(0)
 	}
-	return &Runner{opts: opts}
+	r := &Runner{opts: opts}
+	if !opts.DisableProfileCache {
+		if r.cache = opts.ProfileCache; r.cache == nil {
+			r.cache = NewCache()
+		}
+	}
+	return r
+}
+
+// CacheStats returns the runner's cache counters; ok is false when
+// caching is disabled.
+func (r *Runner) CacheStats() (stats CacheStats, ok bool) {
+	if r.cache == nil {
+		return CacheStats{}, false
+	}
+	return r.cache.Stats(), true
 }
 
 // RunBenchmark measures b under every requested scheme.
@@ -182,12 +216,23 @@ func (r *Runner) RunBenchmarkContext(ctx context.Context, b *bench.Benchmark, sc
 		return nil, fmt.Errorf("pipeline: %s: reference run: %w", b.Name, err)
 	}
 
+	// Pristine-build fingerprints key the compile cache. They are
+	// computed once per benchmark, not per scheme; the training
+	// fingerprint rides along in every key because the profiles that
+	// feed formation derive from the training build.
+	var keys benchKeys
+	if r.cache != nil {
+		keys.on = true
+		keys.train = ir.Fingerprint(trainProg)
+		keys.test = ir.Fingerprint(testProg)
+	}
+
 	// Fan the schemes out. Each worker only reads the shared builds and
 	// frozen profiles; measurements land at their scheme's index, so
 	// assembly order is independent of completion order.
 	ms := make([]*Measurement, len(schemes))
 	err = forEachLimited(ctx, len(schemes), r.opts.Parallelism, func(ctx context.Context, i int) error {
-		m, err := r.runScheme(schemes[i], trainProg, testProg, eprof, pprof, ref)
+		m, err := r.runScheme(schemes[i], trainProg, testProg, eprof, pprof, ref, keys)
 		if err != nil {
 			return fmt.Errorf("pipeline: %s/%s: %w", b.Name, schemes[i], err)
 		}
@@ -211,18 +256,14 @@ func (r *Runner) RunBenchmarkContext(ctx context.Context, b *bench.Benchmark, sc
 	return res, nil
 }
 
-// compileWith forms and compacts prog under scheme s. prog is treated
-// as read-only — formation clones internally and the BB baseline clones
-// explicitly — so one shared build can feed concurrent scheme compiles.
-func (r *Runner) compileWith(prog *ir.Program, s Scheme, eprof *profile.EdgeProfile, pprof *profile.PathProfile) (*ir.Program, *core.Result, core.Stats, error) {
+// formConfig resolves the fully configured formation config for scheme
+// s: defaults, scheme knobs, profiles, parallelism, and the Form hook.
+// ok is false for the BB baseline, which does not form superblocks.
+func (r *Runner) formConfig(s Scheme, eprof *profile.EdgeProfile, pprof *profile.PathProfile) (cfg core.Config, ok bool, err error) {
 	if s == SchemeBB {
-		bb := ir.CloneProgram(prog)
-		if err := sched.CompactBasicBlocks(bb, r.opts.Sched); err != nil {
-			return nil, nil, core.Stats{}, err
-		}
-		return bb, nil, core.Stats{}, nil
+		return core.Config{}, false, nil
 	}
-	cfg := core.DefaultConfig()
+	cfg = core.DefaultConfig()
 	cfg.Edge, cfg.Path = eprof, pprof
 	// Formation fans out across procedures under the same knob that
 	// bounds scheme fan-out (the Form hook below may still override).
@@ -240,52 +281,177 @@ func (r *Runner) compileWith(prog *ir.Program, s Scheme, eprof *profile.EdgeProf
 		cfg.Method = core.PathBased
 		cfg.StopNonLoopAtFirstHead = true
 	default:
-		return nil, nil, core.Stats{}, fmt.Errorf("unknown scheme %q", s)
+		return core.Config{}, false, fmt.Errorf("unknown scheme %q", s)
 	}
 	if r.opts.Form != nil {
 		r.opts.Form(&cfg)
 	}
-	formed, err := core.Form(prog, cfg)
-	if err != nil {
-		return nil, nil, core.Stats{}, err
-	}
-	if err := sched.Compact(formed, r.opts.Sched); err != nil {
-		return nil, nil, core.Stats{}, err
-	}
-	return formed.Prog, formed, formed.Stats, nil
+	return cfg, true, nil
 }
 
-// runScheme compiles and measures one scheme. trainProg and testProg
-// are the benchmark's shared pristine builds; runScheme only reads them
-// (compileWith clones), so concurrent scheme runs can share one pair.
-func (r *Runner) runScheme(s Scheme, trainProg, testProg *ir.Program, eprof *profile.EdgeProfile, pprof *profile.PathProfile, ref *interp.Result) (*Measurement, error) {
-	// Compile the training build to harvest layout weights, then the
-	// testing build for measurement. Formation is deterministic given
-	// (CFG, profile), so both compiles produce the same structure.
-	trainBin, _, _, err := r.compileWith(trainProg, s, eprof, pprof)
-	if err != nil {
-		return nil, fmt.Errorf("train compile: %w", err)
+// compileWith forms and compacts prog under the config formConfig
+// resolved for a scheme (haveCfg false selects the BB baseline). prog
+// is treated as read-only — formation clones internally and the BB
+// baseline clones explicitly — so one shared build can feed concurrent
+// scheme compiles.
+func (r *Runner) compileWith(prog *ir.Program, cfg core.Config, haveCfg bool) (*ir.Program, core.Stats, error) {
+	if !haveCfg {
+		bb := ir.CloneProgram(prog)
+		if err := sched.CompactBasicBlocks(bb, r.opts.Sched); err != nil {
+			return nil, core.Stats{}, err
+		}
+		return bb, core.Stats{}, nil
 	}
-	testBin, _, stats, err := r.compileWith(testProg, s, eprof, pprof)
+	formed, err := core.Form(prog, cfg)
 	if err != nil {
-		return nil, fmt.Errorf("test compile: %w", err)
+		return nil, core.Stats{}, err
 	}
-	if err := checkSameShape(trainBin, testBin); err != nil {
-		return nil, fmt.Errorf("formed builds diverge: %w", err)
+	if err := sched.Compact(formed, r.opts.Sched); err != nil {
+		return nil, core.Stats{}, err
+	}
+	return formed.Prog, formed.Stats, nil
+}
+
+// benchKeys carries one benchmark's pristine-build fingerprints to the
+// scheme workers; the zero value means caching is off.
+type benchKeys struct {
+	on          bool
+	train, test ir.Digest
+}
+
+// compileKey content-addresses one compile: the pristine build being
+// compiled, the training build the formation profiles derive from, the
+// resolved formation config, the compaction options and machine model,
+// and the profiling parameters. Everything that can change the
+// compiled bytes is in the key; names and schemes are not, so distinct
+// configs that resolve to identical inputs share an entry.
+func (r *Runner) compileKey(progFP, trainFP ir.Digest, cfg core.Config, haveCfg bool) ir.Digest {
+	w := newKeyWriter()
+	w.str("pathsched-pipeline-compile-v1")
+	w.digest(progFP)
+	w.digest(trainFP)
+	if haveCfg {
+		w.u64(1)
+		w.digest(cfg.Fingerprint())
+	} else {
+		w.u64(0) // BB baseline: no formation config
+	}
+	w.bool(r.opts.Sched.DisableRenaming)
+	w.bool(r.opts.Sched.DisableDCE)
+	w.bool(r.opts.Sched.DisableVN)
+	w.u64(uint64(r.opts.Sched.Machine.FuncUnits))
+	w.u64(uint64(r.opts.Sched.Machine.BranchPerCycle))
+	w.bool(r.opts.Sched.Machine.Realistic)
+	// The formation profiles are functions of (training build, path
+	// parameters); the build is already keyed above, so the parameters
+	// complete the profile identity. Normalizing resolves zero fields
+	// to their defaults, so explicit-default and default-by-omission
+	// configs share entries (ablation sweeps hit this).
+	pc := profile.PathConfig{
+		Depth:           r.opts.PathDepth,
+		CrossActivation: r.opts.PathCrossActivation,
+	}.Normalized()
+	w.u64(uint64(pc.Depth))
+	w.u64(uint64(pc.MaxBlocks))
+	w.bool(pc.CrossActivation)
+	return w.sum()
+}
+
+// cachedCompile returns the memoized compile of prog under key,
+// computing and fingerprinting it on a miss. The returned master is
+// immutable; callers clone before mutating.
+func (r *Runner) cachedCompile(key ir.Digest, prog *ir.Program, cfg core.Config, haveCfg bool) (*compiled, error) {
+	return r.cache.compile(key, func() (*compiled, error) {
+		bin, stats, err := r.compileWith(prog, cfg, haveCfg)
+		if err != nil {
+			return nil, err
+		}
+		return &compiled{master: bin, fp: ir.Fingerprint(bin), stats: stats}, nil
+	})
+}
+
+// buildScheme compiles a scheme's training and testing builds and
+// gathers the layout weights from a training run of the transformed
+// training build, via the cache when one is configured. It returns a
+// private (mutable) testing binary, the formation stats of its
+// compile, and the layout weights to assign to it.
+func (r *Runner) buildScheme(s Scheme, trainProg, testProg *ir.Program, eprof *profile.EdgeProfile, pprof *profile.PathProfile, keys benchKeys) (*ir.Program, core.Stats, layout.Input, error) {
+	cfg, haveCfg, err := r.formConfig(s, eprof, pprof)
+	if err != nil {
+		return nil, core.Stats{}, layout.Input{}, err
 	}
 
-	// Layout weights from the transformed training build.
+	if !keys.on {
+		// Historical uncached path: compile the training build to
+		// harvest layout weights, then the testing build for
+		// measurement. Formation is deterministic given (CFG, profile),
+		// so both compiles produce the same structure.
+		trainBin, _, err := r.compileWith(trainProg, cfg, haveCfg)
+		if err != nil {
+			return nil, core.Stats{}, layout.Input{}, fmt.Errorf("train compile: %w", err)
+		}
+		testBin, stats, err := r.compileWith(testProg, cfg, haveCfg)
+		if err != nil {
+			return nil, core.Stats{}, layout.Input{}, fmt.Errorf("test compile: %w", err)
+		}
+		if err := checkSameShape(trainBin, testBin); err != nil {
+			return nil, core.Stats{}, layout.Input{}, fmt.Errorf("formed builds diverge: %w", err)
+		}
+		lw, err := layoutWeights(trainBin)
+		if err != nil {
+			return nil, core.Stats{}, layout.Input{}, err
+		}
+		return testBin, stats, lw.input(), nil
+	}
+
+	// Cached path: the same steps, each memoized by content address
+	// and deduplicated across concurrent scheme workers.
+	trainC, err := r.cachedCompile(r.compileKey(keys.train, keys.train, cfg, haveCfg), trainProg, cfg, haveCfg)
+	if err != nil {
+		return nil, core.Stats{}, layout.Input{}, fmt.Errorf("train compile: %w", err)
+	}
+	testC, err := r.cachedCompile(r.compileKey(keys.test, keys.train, cfg, haveCfg), testProg, cfg, haveCfg)
+	if err != nil {
+		return nil, core.Stats{}, layout.Input{}, fmt.Errorf("test compile: %w", err)
+	}
+	if err := checkSameShape(trainC.master, testC.master); err != nil {
+		return nil, core.Stats{}, layout.Input{}, fmt.Errorf("formed builds diverge: %w", err)
+	}
+	// Layout weights are keyed by the *formed* training build's
+	// fingerprint: schemes whose configs differ but whose formed
+	// programs coincide (P4 vs P4e with no non-loop heads) share one
+	// training run. The master is only read — the interpreter's run
+	// state is private and its decode memo is published atomically —
+	// so no clone is needed.
+	lp, err := r.cache.layout(trainC.fp, func() (*layoutProfile, error) {
+		return layoutWeights(trainC.master)
+	})
+	if err != nil {
+		return nil, core.Stats{}, layout.Input{}, err
+	}
+	return ir.CloneProgram(testC.master), testC.stats, lp.input(), nil
+}
+
+// layoutWeights runs the transformed training build once and returns
+// the frozen weights layout.Assign consumes.
+func layoutWeights(trainBin *ir.Program) (*layoutProfile, error) {
 	lep := profile.NewEdgeProfiler(trainBin)
 	cg := profile.NewCallGraphProfiler()
 	if _, err := interp.Run(trainBin, interp.Config{Observer: profile.Multi{lep, cg}}); err != nil {
 		return nil, fmt.Errorf("layout training run: %w", err)
 	}
-	lprof := lep.Profile()
-	layout.Assign(testBin, layout.Input{
-		CallCounts: cg.Counts(),
-		BlockFreq:  lprof.BlockFreq,
-		EdgeFreq:   lprof.EdgeFreq,
-	})
+	return &layoutProfile{calls: cg.Counts(), prof: lep.Profile()}, nil
+}
+
+// runScheme compiles and measures one scheme. trainProg and testProg
+// are the benchmark's shared pristine builds; runScheme only reads them
+// (compileWith clones), so concurrent scheme runs can share one pair.
+func (r *Runner) runScheme(s Scheme, trainProg, testProg *ir.Program, eprof *profile.EdgeProfile, pprof *profile.PathProfile, ref *interp.Result, keys benchKeys) (*Measurement, error) {
+	testBin, stats, lin, err := r.buildScheme(s, trainProg, testProg, eprof, pprof, keys)
+	if err != nil {
+		return nil, err
+	}
+	layout.Assign(testBin, lin)
 
 	// Measurement run. Decoding after layout.Assign means the engine
 	// memoized on testBin (interp caches the decode on the program)
@@ -364,8 +530,11 @@ func (r *Runner) RunSuiteContext(ctx context.Context, names []string, schemes []
 }
 
 // checkSameShape verifies two builds of a benchmark have identical CFG
-// structure (procedures, block counts, terminator opcodes), the
-// property profile transfer relies on.
+// structure (procedures, block counts, terminator opcodes and arities),
+// the property profile transfer relies on. Successor counts matter as
+// much as opcodes: two switches over differently sized jump tables have
+// the same terminator opcode but different out-degrees, and a profile
+// gathered on one does not transfer to the other.
 func checkSameShape(a, b *ir.Program) error {
 	if len(a.Procs) != len(b.Procs) {
 		return fmt.Errorf("proc count %d vs %d", len(a.Procs), len(b.Procs))
@@ -376,10 +545,14 @@ func checkSameShape(a, b *ir.Program) error {
 			return fmt.Errorf("proc %s: block count %d vs %d", pa.Name, len(pa.Blocks), len(pb.Blocks))
 		}
 		for j := range pa.Blocks {
-			ta := pa.Blocks[j].Terminator().Op
-			tb := pb.Blocks[j].Terminator().Op
-			if ta != tb {
-				return fmt.Errorf("proc %s block b%d: terminator %v vs %v", pa.Name, j, ta, tb)
+			ta := pa.Blocks[j].Terminator()
+			tb := pb.Blocks[j].Terminator()
+			if ta.Op != tb.Op {
+				return fmt.Errorf("proc %s block b%d: terminator %v vs %v", pa.Name, j, ta.Op, tb.Op)
+			}
+			if len(ta.Targets) != len(tb.Targets) {
+				return fmt.Errorf("proc %s block b%d: %v successor count %d vs %d",
+					pa.Name, j, ta.Op, len(ta.Targets), len(tb.Targets))
 			}
 		}
 	}

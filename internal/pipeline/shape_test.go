@@ -1,0 +1,54 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+
+	"pathsched/internal/ir"
+)
+
+// shapeProgram builds a two-block program whose entry ends in a switch
+// with the given number of targets (all to the exit block).
+func shapeProgram(switchTargets int) *ir.Program {
+	bd := ir.NewBuilder("shape", 16)
+	p := bd.Proc("main")
+	bs := p.NewBlocks(2)
+	targets := make([]ir.BlockID, switchTargets)
+	for i := range targets {
+		targets[i] = bs[1].ID()
+	}
+	bs[0].Add(ir.MovI(1, 0))
+	bs[0].Switch(1, targets...)
+	bs[1].Ret(1)
+	return bd.Program()
+}
+
+func TestCheckSameShapeAccepts(t *testing.T) {
+	if err := checkSameShape(shapeProgram(3), shapeProgram(3)); err != nil {
+		t.Fatalf("identical shapes rejected: %v", err)
+	}
+}
+
+// Regression test: two builds can agree on every terminator opcode yet
+// disagree on successor counts (a switch that lost a duplicated arm),
+// which would let runScheme pair a training profile with a test CFG it
+// doesn't describe. checkSameShape must compare Targets lengths too.
+func TestCheckSameShapeRejectsSuccessorCountMismatch(t *testing.T) {
+	err := checkSameShape(shapeProgram(3), shapeProgram(2))
+	if err == nil {
+		t.Fatal("successor-count mismatch not detected")
+	}
+	if !strings.Contains(err.Error(), "successor count 3 vs 2") {
+		t.Fatalf("err = %v, want a successor-count message", err)
+	}
+}
+
+func TestCheckSameShapeRejectsTerminatorMismatch(t *testing.T) {
+	a := shapeProgram(2)
+	b := shapeProgram(2)
+	term := b.Procs[0].Blocks[0].Terminator()
+	term.Op = ir.OpBr
+	if err := checkSameShape(a, b); err == nil {
+		t.Fatal("terminator opcode mismatch not detected")
+	}
+}

@@ -24,7 +24,12 @@ type PathConfig struct {
 	CrossActivation bool
 }
 
-func (c PathConfig) withDefaults() PathConfig {
+// Normalized resolves zero fields to their defaults. Two configs with
+// equal Normalized values profile identically, which is what cache
+// keys over profiling parameters must compare (the pipeline's compile
+// cache collapses an explicit Depth: 15 and the default-by-omission
+// config to one entry this way).
+func (c PathConfig) Normalized() PathConfig {
 	if c.Depth == 0 {
 		c.Depth = DefaultDepth
 	}
@@ -33,6 +38,8 @@ func (c PathConfig) withDefaults() PathConfig {
 	}
 	return c
 }
+
+func (c PathConfig) withDefaults() PathConfig { return c.Normalized() }
 
 // pathNode is one lazily-created state of the path automaton: the
 // window of recently-executed blocks it represents, the number of

@@ -39,11 +39,24 @@ func main() {
 		jobs      = flag.Int("j", 0, "parallel pipeline workers (0 = GOMAXPROCS, 1 = serial)")
 		cstats    = flag.Bool("cachestats", false, "report compile/layout-profile cache hits, misses, and dedups")
 		nocache   = flag.Bool("nocache", false, "disable the compile/layout-profile cache")
+		docheck   = flag.Bool("check", false, "run the semantic checker after every pipeline stage")
+		nocheck   = flag.Bool("nocheck", false, "disable the semantic checker (default: off outside tests)")
 	)
 	flag.Parse()
 
+	checkMode := pipeline.CheckAuto
+	switch {
+	case *docheck && *nocheck:
+		fmt.Fprintln(os.Stderr, "experiments: -check and -nocheck are mutually exclusive")
+		os.Exit(2)
+	case *docheck:
+		checkMode = pipeline.CheckOn
+	case *nocheck:
+		checkMode = pipeline.CheckOff
+	}
+
 	if *ablate {
-		runAblations(*benches, *jobs, *cstats, *nocache)
+		runAblations(*benches, *jobs, *cstats, *nocache, checkMode)
 		return
 	}
 
@@ -57,6 +70,7 @@ func main() {
 		PathDepth:           *depth,
 		Parallelism:         *jobs,
 		DisableProfileCache: *nocache,
+		Check:               checkMode,
 	})
 
 	var names []string
@@ -130,7 +144,7 @@ func main() {
 // All configurations share one content-addressed cache, so configs
 // that resolve to identical formation inputs (depth=15 vs baseline)
 // collapse to one compile and one layout-profiling run per benchmark.
-func runAblations(benches string, jobs int, cstats, nocache bool) {
+func runAblations(benches string, jobs int, cstats, nocache bool, checkMode pipeline.CheckMode) {
 	names := []string{"alt", "ph", "corr", "wc", "eqn", "m88k"}
 	if benches != "" {
 		names = strings.Split(benches, ",")
@@ -161,6 +175,7 @@ func runAblations(benches string, jobs int, cstats, nocache bool) {
 		c.opts.Parallelism = jobs
 		c.opts.ProfileCache = shared
 		c.opts.DisableProfileCache = nocache
+		c.opts.Check = checkMode
 		runner := pipeline.NewRunner(c.opts)
 		results, err := runner.RunSuite(names, []pipeline.Scheme{pipeline.SchemeM4, pipeline.SchemeP4})
 		if err != nil {

@@ -7,6 +7,8 @@
 //	irtool dump -bench wc > wc.ir            # architectural program
 //	irtool dump -bench wc -scheme P4         # compiled (annotations dropped)
 //	irtool verify wc.ir
+//	irtool check wc.ir                       # semantic checks (def-before-use, schedules)
+//	irtool check -edge e.prof -path p.prof wc.ir   # + profile flow conservation
 //	irtool run wc.ir
 //	irtool paths -top 10 wc.ir               # hottest general paths
 //	irtool profile -edge e.prof -path p.prof wc.ir   # save profiles
@@ -23,8 +25,10 @@ import (
 	"sort"
 
 	"pathsched/internal/bench"
+	"pathsched/internal/check"
 	"pathsched/internal/interp"
 	"pathsched/internal/ir"
+	"pathsched/internal/machine"
 	"pathsched/internal/profile"
 
 	root "pathsched"
@@ -40,6 +44,8 @@ func main() {
 		dump(args)
 	case "verify":
 		verify(args)
+	case "check":
+		checkCmd(args)
 	case "run":
 		run(args)
 	case "paths":
@@ -58,7 +64,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: irtool {dump|verify|run|paths|profile|compile|dot|trace} [flags] [file.ir]")
+	fmt.Fprintln(os.Stderr, "usage: irtool {dump|verify|check|run|paths|profile|compile|dot|trace} [flags] [file.ir]")
 	os.Exit(2)
 }
 
@@ -187,6 +193,55 @@ func verify(args []string) {
 	prog := loadFile(args)
 	fmt.Printf("ok: %s — %d procs, %d blocks, %d instructions, %d data words\n",
 		prog.Name, len(prog.Procs), totalBlocks(prog), prog.NumInstrs(), prog.MemSize)
+}
+
+// checkCmd runs the semantic analyses of internal/check offline:
+// structural verification, def-before-use (undefined virtual reads are
+// always errors; physical reads are judged against the program's own
+// baseline), schedule legality for any scheduled blocks, and — when
+// profile files are supplied — flow conservation.
+func checkCmd(args []string) {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	edgeIn := fs.String("edge", "", "edge profile to check flow conservation against")
+	pathIn := fs.String("path", "", "path profile to check internal consistency")
+	realistic := fs.Bool("realistic", false, "check schedules against multi-cycle load/mul latencies")
+	_ = fs.Parse(args)
+	prog := loadFile(fs.Args())
+	if err := ir.Verify(prog); err != nil {
+		fatal(err)
+	}
+	mc := machine.Default()
+	mc.Realistic = *realistic
+
+	vs := check.DefBeforeUse(prog, check.BaselineOf(prog))
+	vs = append(vs, check.Schedules(prog, mc)...)
+	var eprof *profile.EdgeProfile
+	if *edgeIn != "" {
+		data, err := os.ReadFile(*edgeIn)
+		if err != nil {
+			fatal(err)
+		}
+		if eprof, err = profile.ParseEdgeProfile(len(prog.Procs), string(data)); err != nil {
+			fatal(err)
+		}
+		vs = append(vs, check.EdgeFlow(prog, eprof)...)
+	}
+	if *pathIn != "" {
+		data, err := os.ReadFile(*pathIn)
+		if err != nil {
+			fatal(err)
+		}
+		pprof, err := profile.ParsePathProfile(prog, string(data))
+		if err != nil {
+			fatal(err)
+		}
+		vs = append(vs, check.PathFlow(prog, pprof, eprof)...)
+	}
+	if err := check.Err("offline", vs); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("ok: %s — %d procs, %d blocks, %d instructions semantically checked\n",
+		prog.Name, len(prog.Procs), totalBlocks(prog), prog.NumInstrs())
 }
 
 func totalBlocks(p *ir.Program) int {

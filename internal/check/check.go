@@ -1,0 +1,96 @@
+// Package check is a semantic static-analysis layer over the IR: it
+// verifies properties ir.Verify cannot, in the style of translation
+// validation — instead of trusting the formation and scheduling passes,
+// it independently re-derives what must hold of their output and
+// reports any divergence.
+//
+// Four analyses:
+//
+//   - DefBeforeUse: forward must-defined dataflow proving every
+//     register read is preceded by a write on all paths from entry.
+//   - Schedules: recompute dependences from the emitted instruction
+//     order (via the scheduler's own sched.Dependences seam) and verify
+//     the cycle assignment, issue width, control placement, and
+//     speculation flags.
+//   - Superblocks: formed superblocks have no side entrances and
+//     tail-duplicated blocks stay consistent with their originals.
+//   - EdgeFlow / PathFlow: profile counts satisfy Kirchhoff's law and
+//     path counts never exceed their prefix-edge counts.
+//
+// All analyses are read-only and return []Violation; Err stamps a
+// pipeline stage onto the set and folds it into an error.
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"pathsched/internal/ir"
+)
+
+// NoInstr marks a Violation that is not tied to one instruction.
+const NoInstr = -1
+
+// Violation is one semantic check failure, carrying enough position to
+// find the offending construct: pipeline stage, procedure, block, and
+// instruction index (NoInstr when block- or proc-level).
+type Violation struct {
+	Stage string
+	Proc  string
+	Block ir.BlockID
+	Instr int
+	Msg   string
+}
+
+func (v Violation) String() string {
+	var sb strings.Builder
+	sb.WriteString("check")
+	if v.Stage != "" {
+		fmt.Fprintf(&sb, "[%s]", v.Stage)
+	}
+	sb.WriteString(":")
+	if v.Proc != "" {
+		fmt.Fprintf(&sb, " proc %q", v.Proc)
+	}
+	if v.Block != ir.NoBlock {
+		fmt.Fprintf(&sb, " block b%d", v.Block)
+	}
+	if v.Instr != NoInstr {
+		fmt.Fprintf(&sb, " instr %d", v.Instr)
+	}
+	sb.WriteString(": ")
+	sb.WriteString(v.Msg)
+	return sb.String()
+}
+
+// Error aggregates the violations of one checked stage.
+type Error struct {
+	Violations []Violation
+}
+
+func (e *Error) Error() string {
+	const show = 8
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d check violation(s)", len(e.Violations))
+	for i, v := range e.Violations {
+		if i == show {
+			fmt.Fprintf(&sb, "\n  ... and %d more", len(e.Violations)-show)
+			break
+		}
+		sb.WriteString("\n  ")
+		sb.WriteString(v.String())
+	}
+	return sb.String()
+}
+
+// Err stamps stage onto every violation and wraps the set into an
+// *Error, or returns nil when there are none.
+func Err(stage string, vs []Violation) error {
+	if len(vs) == 0 {
+		return nil
+	}
+	for i := range vs {
+		vs[i].Stage = stage
+	}
+	return &Error{Violations: vs}
+}

@@ -1,0 +1,218 @@
+package check
+
+import (
+	"fmt"
+
+	"pathsched/internal/ir"
+)
+
+// The def-before-use analysis proves every register read is preceded
+// by a write on all paths from the procedure entry. The interpreter
+// zero-initializes frames, so a read-before-write is not a crash — but
+// legitimate programs rarely rely on it, and a transformation must
+// never *introduce* one (a renaming or allocation bug that reads a
+// stale or never-written register looks exactly like this). The
+// contract is therefore subset-shaped: BaselineOf records which
+// (proc, physical register) reads the pristine program leaves possibly
+// undefined, and DefBeforeUse accepts a transformed program only if
+// its possibly-undefined reads are a subset of that baseline. Virtual
+// registers get no such grace — renaming always writes a virtual
+// before reading it, so an undefined virtual read is a hard error
+// regardless of baseline.
+
+// Baseline records, per procedure name, the physical registers that
+// some entry path of the pristine program may read before writing.
+type Baseline map[string]map[ir.Reg]bool
+
+// BaselineOf runs the dataflow over prog (normally the pristine,
+// pre-transformation program) and collects its possibly-undefined
+// reads as the tolerance for later DefBeforeUse calls.
+func BaselineOf(prog *ir.Program) Baseline {
+	base := Baseline{}
+	for _, p := range prog.Procs {
+		m := map[ir.Reg]bool{}
+		for _, u := range undefinedReads(p) {
+			m[u.reg] = true
+		}
+		base[p.Name] = m
+	}
+	return base
+}
+
+// DefBeforeUse reports every register read of prog not preceded by a
+// write on all entry paths, excusing physical-register reads the
+// baseline already contains. A nil baseline excuses nothing.
+func DefBeforeUse(prog *ir.Program, base Baseline) []Violation {
+	var out []Violation
+	for _, p := range prog.Procs {
+		allowed := base[p.Name]
+		for _, u := range undefinedReads(p) {
+			if u.reg.IsVirtual() {
+				out = append(out, Violation{
+					Proc: p.Name, Block: u.block, Instr: u.instr,
+					Msg: fmt.Sprintf("read of virtual register %s never written on some entry path", u.reg),
+				})
+				continue
+			}
+			if !allowed[u.reg] {
+				out = append(out, Violation{
+					Proc: p.Name, Block: u.block, Instr: u.instr,
+					Msg: fmt.Sprintf("read of register %s not defined on all entry paths (and not in the pristine program's baseline)", u.reg),
+				})
+			}
+		}
+	}
+	return out
+}
+
+type undefRead struct {
+	block ir.BlockID
+	instr int
+	reg   ir.Reg
+}
+
+// undefinedReads computes the must-defined set at every block entry by
+// forward dataflow (intersection over incoming edges, with mid-block
+// exits propagating the set as of the exit point) and returns every
+// read of a register outside that set. Only r1..r7 — the argument
+// registers the call protocol fills — count as defined at entry.
+//
+// The sets are bitsets over a dense per-procedure register index
+// (registers are sparse ir.Reg values, virtuals especially), and every
+// instruction's uses and def are resolved to dense indices once up
+// front, so the worklist iterations — the part that runs to a
+// fixpoint — are pure word operations with no map traffic. This
+// analysis runs on every compile when checking is on, so its constant
+// factor is what the checker's overhead is mostly made of.
+func undefinedReads(p *ir.Proc) []undefRead {
+	nb := len(p.Blocks)
+
+	// Pass 1: dense-index every register mentioned in the procedure and
+	// flatten each instruction's uses/def into index form. instr k of
+	// block b reads uses[useOff[b][k]:useOff[b][k+1]] and defines
+	// defs[b][k] (-1 = no destination).
+	idx := map[ir.Reg]int32{}
+	regs := []ir.Reg{}
+	index := func(r ir.Reg) int32 {
+		if i, ok := idx[r]; ok {
+			return i
+		}
+		i := int32(len(regs))
+		idx[r] = i
+		regs = append(regs, r)
+		return i
+	}
+	for r := ir.RegArg0; r < ir.RegArg0+ir.MaxArgs; r++ {
+		index(r)
+	}
+	uses := make([][]int32, nb)
+	useOff := make([][]int32, nb)
+	defs := make([][]int32, nb)
+	var buf []ir.Reg
+	for _, b := range p.Blocks {
+		off := make([]int32, len(b.Instrs)+1)
+		df := make([]int32, len(b.Instrs))
+		var us []int32
+		for i := range b.Instrs {
+			ins := &b.Instrs[i]
+			buf = ins.Uses(buf[:0])
+			for _, u := range buf {
+				us = append(us, index(u))
+			}
+			off[i+1] = int32(len(us))
+			df[i] = -1
+			if ins.HasDst() {
+				df[i] = index(ins.Dst)
+			}
+		}
+		uses[b.ID], useOff[b.ID], defs[b.ID] = us, off, df
+	}
+
+	nw := (len(regs) + 63) / 64
+	word := func(i int32) (int32, uint64) { return i >> 6, 1 << uint(i&63) }
+
+	in := make([][]uint64, nb) // nil = not yet reached
+	entry := make([]uint64, nw)
+	for r := ir.RegArg0; r < ir.RegArg0+ir.MaxArgs; r++ {
+		w, m := word(idx[r])
+		entry[w] |= m
+	}
+	in[p.Entry().ID] = entry
+
+	inWork := make([]bool, nb)
+	work := []ir.BlockID{p.Entry().ID}
+	inWork[p.Entry().ID] = true
+
+	// meet intersects s into in[t]; returns true when in[t] shrank (or
+	// was first set), i.e. t must be revisited.
+	meet := func(t ir.BlockID, s []uint64) bool {
+		if in[t] == nil {
+			in[t] = append([]uint64(nil), s...)
+			return true
+		}
+		changed := false
+		for w, v := range in[t] {
+			if nv := v & s[w]; nv != v {
+				in[t][w] = nv
+				changed = true
+			}
+		}
+		return changed
+	}
+
+	// walk runs the transfer function over b. When onUse is non-nil it
+	// is invoked for every (instr index, reg) read outside the current
+	// defined set; when propagate is true, target blocks are met with
+	// the point set and pushed on change.
+	s := make([]uint64, nw)
+	walk := func(b *ir.Block, propagate bool, onUse func(i int, r ir.Reg)) {
+		copy(s, in[b.ID])
+		us, off, df := uses[b.ID], useOff[b.ID], defs[b.ID]
+		for i := range b.Instrs {
+			for _, u := range us[off[i]:off[i+1]] {
+				if w, m := word(u); s[w]&m == 0 && onUse != nil {
+					onUse(i, regs[u])
+				}
+			}
+			// A call defines Dst only on return, which is exactly when
+			// its continuation (in- or out-of-block) resumes; branches
+			// transfer before any def. Both orders collapse to "defs
+			// apply before successors see the set" for OpCall and
+			// "after" is irrelevant for def-less terminators.
+			if d := df[i]; d >= 0 {
+				w, m := word(d)
+				s[w] |= m
+			}
+			if propagate {
+				for _, t := range b.Instrs[i].Targets {
+					if t == ir.NoBlock {
+						continue
+					}
+					if meet(t, s) && !inWork[t] {
+						inWork[t] = true
+						work = append(work, t)
+					}
+				}
+			}
+		}
+	}
+
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[b] = false
+		walk(p.Blocks[b], true, nil)
+	}
+
+	var out []undefRead
+	for _, b := range p.Blocks {
+		if in[b.ID] == nil {
+			continue // unreachable
+		}
+		id := b.ID
+		walk(b, false, func(i int, r ir.Reg) {
+			out = append(out, undefRead{block: id, instr: i, reg: r})
+		})
+	}
+	return out
+}

@@ -1,0 +1,46 @@
+package check_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pathsched/internal/check"
+	"pathsched/internal/ir"
+	"pathsched/internal/machine"
+)
+
+// Every golden program under internal/ir/testdata must pass the
+// offline semantic checks — the local mirror of CI's
+// `irtool check` sweep over the same files.
+func TestGoldensPassOfflineChecks(t *testing.T) {
+	goldens, err := filepath.Glob(filepath.Join("..", "ir", "testdata", "*.ir"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(goldens) == 0 {
+		t.Fatal("no golden .ir files found under internal/ir/testdata")
+	}
+	for _, path := range goldens {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			text, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := ir.ParseText(string(text))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if err := ir.Verify(prog); err != nil {
+				t.Fatalf("verify: %v", err)
+			}
+			var vs []check.Violation
+			vs = append(vs, check.DefBeforeUse(prog, check.BaselineOf(prog))...)
+			vs = append(vs, check.Schedules(prog, machine.Default())...)
+			if err := check.Err("offline", vs); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,139 @@
+package check
+
+import (
+	"fmt"
+
+	"pathsched/internal/ir"
+	"pathsched/internal/machine"
+	"pathsched/internal/sched"
+)
+
+// Schedules verifies every scheduled block of prog against mc, in the
+// translation-validation style: the dependences are recomputed from
+// the *emitted* instruction order via the scheduler's own
+// sched.Dependences seam, and the recorded cycle assignment must
+// satisfy them. Because the compactor linearizes by (cycle, original
+// program order) and every original dependence pointed forward with
+// its latency respected, every dependence recomputed from the emitted
+// order is again satisfied by a correct schedule — except output
+// dependences, which a register allocator reusing a dead register may
+// legally collapse into one cycle, so WAW edges are only required to
+// respect emitted order (which they do by construction). On top of the
+// dependences it checks machine resources (issue width, control ops
+// per cycle), the Span/ExitUnits/Units annotations, and that every
+// load hoisted above an earlier unit's exit carries Spec.
+func Schedules(prog *ir.Program, mc machine.Config) []Violation {
+	var out []Violation
+	for _, p := range prog.Procs {
+		live := sched.LiveIn(p)
+		for _, b := range p.Blocks {
+			if b.Cycles == nil {
+				continue
+			}
+			out = append(out, checkBlockSchedule(p, b, live, mc)...)
+		}
+	}
+	return out
+}
+
+func checkBlockSchedule(p *ir.Proc, b *ir.Block, live []sched.RegSet, mc machine.Config) []Violation {
+	var out []Violation
+	bad := func(instr int, format string, args ...any) {
+		out = append(out, Violation{
+			Proc: p.Name, Block: b.ID, Instr: instr,
+			Msg: fmt.Sprintf(format, args...),
+		})
+	}
+	n := len(b.Instrs)
+	if n == 0 || len(b.Cycles) != n {
+		// ir.Verify owns shape errors; nothing sensible to check here.
+		return out
+	}
+
+	// Annotation sanity beyond ir.Verify's shape checks.
+	if b.Span != b.Cycles[n-1]+1 {
+		bad(NoInstr, "span %d, want last cycle %d + 1", b.Span, b.Cycles[n-1])
+	}
+	if b.ExitUnits == nil {
+		bad(NoInstr, "scheduled block has no ExitUnits")
+		return out
+	}
+	if b.ExitUnits[n-1] == 0 {
+		bad(n-1, "final instruction is not marked as an exit")
+	}
+	prevUnit := int32(0)
+	for i, u := range b.ExitUnits {
+		if u == 0 {
+			continue
+		}
+		if u < prevUnit {
+			bad(i, "exit unit %d after exit unit %d: exits out of unit order", u, prevUnit)
+		}
+		prevUnit = u
+		if b.Units != nil && b.Units[i] != u {
+			bad(i, "exit unit %d disagrees with instruction unit %d", u, b.Units[i])
+		}
+	}
+
+	// Rebuild the scheduling region from the emitted order.
+	items := make([]sched.DepItem, n)
+	for i := range b.Instrs {
+		it := sched.DepItem{Ins: b.Instrs[i], IsExit: b.ExitUnits[i] != 0}
+		if it.IsExit {
+			for _, t := range b.Instrs[i].Targets {
+				if t != ir.NoBlock {
+					it.LiveOut.Union(live[t])
+				}
+			}
+		}
+		items[i] = it
+	}
+	for _, e := range sched.Dependences(items, mc) {
+		if e.Kind == sched.DepWAW {
+			continue // emitted order (From < To) is the whole requirement
+		}
+		if b.Cycles[e.To] < b.Cycles[e.From]+e.Lat {
+			bad(e.To, "%s dependence violated: instr %d (cycle %d) needs instr %d (cycle %d) + latency %d",
+				e.Kind, e.To, b.Cycles[e.To], e.From, b.Cycles[e.From], e.Lat)
+		}
+	}
+
+	// Machine resources per cycle.
+	for i := 0; i < n; {
+		j := i
+		branches := 0
+		for j < n && b.Cycles[j] == b.Cycles[i] {
+			if b.Instrs[j].Op.IsBranch() {
+				branches++
+			}
+			j++
+		}
+		if w := j - i; w > mc.FuncUnits {
+			bad(i, "cycle %d issues %d instructions, machine has %d functional units", b.Cycles[i], w, mc.FuncUnits)
+		}
+		if branches > mc.BranchPerCycle {
+			bad(i, "cycle %d issues %d control operations, machine allows %d", b.Cycles[i], branches, mc.BranchPerCycle)
+		}
+		i = j
+	}
+
+	// Speculation: a load that now sits above an exit of an earlier
+	// unit has been hoisted across that branch and must be marked
+	// non-excepting. (The converse — a Spec flag with no crossed exit —
+	// is legal: flags survive from earlier compilations of the input.)
+	if b.Units != nil {
+		for i := range b.Instrs {
+			if b.Instrs[i].Op != ir.OpLoad || b.Instrs[i].Spec {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if b.ExitUnits[j] != 0 && b.ExitUnits[j] < b.Units[i] {
+					bad(i, "load from unit %d hoisted above exit at instr %d (unit %d) without Spec",
+						b.Units[i], j, b.ExitUnits[j])
+					break
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,160 @@
+package check
+
+import (
+	"fmt"
+
+	"pathsched/internal/core"
+	"pathsched/internal/ir"
+)
+
+// Superblocks verifies a formation result semantically, independently
+// of core's own internal assertions:
+//
+//   - the superblocks partition each procedure's reachable blocks and
+//     the procedure entry heads one;
+//   - no superblock has a side entrance: the only edges into a
+//     non-head position come from the block immediately before it in
+//     the same superblock (tail duplication's whole purpose, §2.1);
+//   - every cloned block (tail duplication and enlargement) still
+//     matches its original instruction-for-instruction, with branch
+//     targets agreeing modulo cloning (the origins of corresponding
+//     targets are equal).
+func Superblocks(res *core.Result) []Violation {
+	var out []Violation
+	for _, p := range res.Prog.Procs {
+		sbs := res.Superblocks[p.ID]
+		out = append(out, checkPartition(p, sbs)...)
+		out = append(out, checkClones(p)...)
+	}
+	return out
+}
+
+func checkPartition(p *ir.Proc, sbs []*core.Superblock) []Violation {
+	var out []Violation
+	bad := func(b ir.BlockID, format string, args ...any) {
+		out = append(out, Violation{
+			Proc: p.Name, Block: b, Instr: NoInstr,
+			Msg: fmt.Sprintf(format, args...),
+		})
+	}
+	type slot struct {
+		sb  *core.Superblock
+		idx int
+	}
+	inSB := map[ir.BlockID]slot{}
+	for _, sb := range sbs {
+		for i, b := range sb.Blocks {
+			if p.Block(b) == nil {
+				bad(b, "superblock %d names a block outside the procedure", sb.ID)
+				continue
+			}
+			if prev, dup := inSB[b]; dup {
+				bad(b, "block in two superblocks (%d and %d)", prev.sb.ID, sb.ID)
+				continue
+			}
+			inSB[b] = slot{sb, i}
+		}
+	}
+	if e, ok := inSB[p.Entry().ID]; !ok || e.idx != 0 {
+		bad(p.Entry().ID, "procedure entry does not head a superblock")
+	}
+	g := ir.NewCFG(p)
+	for _, b := range p.Blocks {
+		if !g.Reachable(b.ID) {
+			continue
+		}
+		fs, ok := inSB[b.ID]
+		if !ok {
+			bad(b.ID, "reachable block not covered by any superblock")
+			continue
+		}
+		for _, t := range b.Succs() {
+			ts, ok := inSB[t]
+			if !ok {
+				continue // target's own coverage reported above
+			}
+			if ts.idx == 0 {
+				continue // entering a head is always legal
+			}
+			if fs.sb == ts.sb && fs.idx == ts.idx-1 {
+				continue // intra-superblock fall-through
+			}
+			bad(b.ID, "side entrance: edge into b%d at position %d of superblock %d", t, ts.idx, ts.sb.ID)
+		}
+	}
+	return out
+}
+
+// checkClones verifies that every block whose Origin is another block
+// is still an instruction-for-instruction copy of it. Formation only
+// ever clones blocks and retargets branches, so any other divergence
+// means a pass corrupted a copy. Branch targets themselves may differ
+// — a clone's edge may aim at another clone — but corresponding
+// targets must be copies of the same original, i.e. share an Origin.
+func checkClones(p *ir.Proc) []Violation {
+	var out []Violation
+	originOf := func(t ir.BlockID) ir.BlockID {
+		if tb := p.Block(t); tb != nil {
+			return tb.Origin
+		}
+		return ir.NoBlock
+	}
+	for _, b := range p.Blocks {
+		if b.Origin == b.ID {
+			continue
+		}
+		orig := p.Block(b.Origin)
+		if orig == nil {
+			continue // ir.Verify reports out-of-range origins
+		}
+		bad := func(instr int, format string, args ...any) {
+			out = append(out, Violation{
+				Proc: p.Name, Block: b.ID, Instr: instr,
+				Msg: fmt.Sprintf(format, args...),
+			})
+		}
+		if len(b.Instrs) != len(orig.Instrs) {
+			bad(NoInstr, "clone of b%d has %d instructions, original has %d", b.Origin, len(b.Instrs), len(orig.Instrs))
+			continue
+		}
+		for i := range b.Instrs {
+			c, o := &b.Instrs[i], &orig.Instrs[i]
+			switch {
+			case c.Op != o.Op:
+				bad(i, "clone of b%d diverges: op %s, original %s", b.Origin, c.Op, o.Op)
+			case c.Dst != o.Dst || c.Src1 != o.Src1 || c.Src2 != o.Src2:
+				bad(i, "clone of b%d diverges: operands %s,%s,%s vs %s,%s,%s",
+					b.Origin, c.Dst, c.Src1, c.Src2, o.Dst, o.Src1, o.Src2)
+			case c.Imm != o.Imm:
+				bad(i, "clone of b%d diverges: imm %d vs %d", b.Origin, c.Imm, o.Imm)
+			case c.Callee != o.Callee || len(c.Args) != len(o.Args):
+				bad(i, "clone of b%d diverges in call callee/args", b.Origin)
+			case c.Spec != o.Spec:
+				bad(i, "clone of b%d diverges: Spec %v vs %v", b.Origin, c.Spec, o.Spec)
+			case len(c.Targets) != len(o.Targets):
+				bad(i, "clone of b%d diverges: %d targets vs %d", b.Origin, len(c.Targets), len(o.Targets))
+			default:
+				for k := range c.Args {
+					if c.Args[k] != o.Args[k] {
+						bad(i, "clone of b%d diverges: arg %d is %s, original %s", b.Origin, k, c.Args[k], o.Args[k])
+					}
+				}
+				for k := range c.Targets {
+					ct, ot := c.Targets[k], o.Targets[k]
+					if (ct == ir.NoBlock) != (ot == ir.NoBlock) {
+						bad(i, "clone of b%d diverges: target slot %d fall-through mismatch", b.Origin, k)
+						continue
+					}
+					if ct == ir.NoBlock {
+						continue
+					}
+					if originOf(ct) != originOf(ot) {
+						bad(i, "clone of b%d diverges: target slot %d aims at a copy of b%d, original at a copy of b%d",
+							b.Origin, k, originOf(ct), originOf(ot))
+					}
+				}
+			}
+		}
+	}
+	return out
+}

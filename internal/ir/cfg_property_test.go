@@ -1,42 +1,16 @@
-package ir
+package ir_test
 
 import (
-	"math/rand"
 	"testing"
 	"testing/quick"
+
+	. "pathsched/internal/ir"
+	"pathsched/internal/ir/irtest"
 )
 
-// randCFGProg builds a random (reducible-or-not) CFG with n blocks:
-// each block ends in a branch or jump to random targets, with block
-// n-1 a return. Not executable — CFG analyses only.
-func randCFGProg(seed int64, n int) *Program {
-	rng := rand.New(rand.NewSource(seed))
-	bd := NewBuilder("randcfg", 4)
-	pb := bd.Proc("main")
-	bbs := pb.NewBlocks(n)
-	for i := 0; i < n-1; i++ {
-		bbs[i].Add(MovI(1, int64(i)))
-		switch rng.Intn(3) {
-		case 0:
-			bbs[i].Jmp(BlockID(rng.Intn(n)))
-		case 1:
-			bbs[i].Br(1, BlockID(rng.Intn(n)), BlockID(rng.Intn(n)))
-		default:
-			k := 2 + rng.Intn(3)
-			targets := make([]BlockID, k)
-			for j := range targets {
-				targets[j] = BlockID(rng.Intn(n))
-			}
-			bbs[i].Switch(1, targets...)
-		}
-	}
-	bbs[n-1].Ret(0)
-	prog := bd.Program()
-	if err := Verify(prog); err != nil {
-		panic(err)
-	}
-	return prog
-}
+// The random-program generator lives in irtest so that regalloc's
+// def-before-use property test and the checker fuzzer share it; this
+// file keeps the CFG-analysis properties it was written for.
 
 // Property: the immediate dominator of every reachable non-entry block
 // strictly dominates it, and domination is consistent with reachability
@@ -44,7 +18,7 @@ func randCFGProg(seed int64, n int) *Program {
 func TestDominatorProperties(t *testing.T) {
 	check := func(seed int64, sz uint8) bool {
 		n := int(sz%12) + 3
-		prog := randCFGProg(seed, n)
+		prog := irtest.RandCFGProg(seed, n)
 		p := prog.Proc(0)
 		g := NewCFG(p)
 		entry := p.Entry().ID
@@ -106,7 +80,7 @@ func reachableWithout(g *CFG, p *Proc, entry, target, banned BlockID) bool {
 func TestNaturalLoopProperties(t *testing.T) {
 	check := func(seed int64, sz uint8) bool {
 		n := int(sz%10) + 3
-		prog := randCFGProg(seed, n)
+		prog := irtest.RandCFGProg(seed, n)
 		p := prog.Proc(0)
 		g := NewCFG(p)
 		for _, b := range p.Blocks {
@@ -145,7 +119,7 @@ func TestNaturalLoopProperties(t *testing.T) {
 // Property: text round-trip is the identity on random CFG programs.
 func TestTextRoundTripProperty(t *testing.T) {
 	check := func(seed int64, sz uint8) bool {
-		prog := randCFGProg(seed, int(sz%10)+3)
+		prog := irtest.RandCFGProg(seed, int(sz%10)+3)
 		text := WriteText(prog)
 		back, err := ParseText(text)
 		if err != nil {

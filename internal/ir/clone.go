@@ -44,6 +44,9 @@ func CloneProgram(prog *Program) *Program {
 			if b.ExitUnits != nil {
 				nb.ExitUnits = append([]int32(nil), b.ExitUnits...)
 			}
+			if b.Units != nil {
+				nb.Units = append([]int32(nil), b.Units...)
+			}
 			nb.Instrs = make([]Instr, len(b.Instrs))
 			for k := range b.Instrs {
 				nb.Instrs[k] = b.Instrs[k].Clone()

@@ -87,6 +87,7 @@ func (w *fpWriter) hashBlock(b *Block) {
 	// Cycles means unscheduled, nil ExitUnits means every exit retires
 	// SBSize blocks), so presence is part of the encoding.
 	w.i32Slice(b.ExitUnits)
+	w.i32Slice(b.Units)
 	w.i32Slice(b.Cycles)
 	w.u64(uint64(len(b.Instrs)))
 	for i := range b.Instrs {

@@ -189,6 +189,15 @@ type Block struct {
 	SBSize    int32
 	ExitUnits []int32
 
+	// Units, when non-nil, maps each instruction index of a merged
+	// superblock to 1 + the index of the constituent original block the
+	// instruction came from (so values range over 1..SBSize). It
+	// records where each instruction sat *before* compaction moved it,
+	// which is what lets the checker decide whether a load ended up
+	// hoisted above an earlier unit's exit and must carry Spec. Nil
+	// means unscheduled or unknown.
+	Units []int32
+
 	// Schedule annotations filled in by compaction. Cycles[i] is the
 	// machine cycle in which Instrs[i] issues, relative to the start of
 	// the block's superblock (for the first block of a superblock) or

@@ -1,0 +1,162 @@
+// Package irtest provides deterministic random-program generators for
+// property tests and fuzzing across the repository. The generators are
+// deliberately in a separate package (not an _test.go file) so that
+// ir's own property tests, the regalloc def-before-use test, and the
+// checker fuzzer can all share one program distribution.
+package irtest
+
+import (
+	"math/rand"
+
+	"pathsched/internal/ir"
+)
+
+// RandCFGProg builds a random (reducible-or-not) CFG with n blocks:
+// each block ends in a branch, jump, or switch to random targets, with
+// block n-1 a return. Not executable — CFG analyses only (a random
+// back edge loops forever under the interpreter).
+func RandCFGProg(seed int64, n int) *ir.Program {
+	rng := rand.New(rand.NewSource(seed))
+	bd := ir.NewBuilder("randcfg", 4)
+	pb := bd.Proc("main")
+	bbs := pb.NewBlocks(n)
+	for i := 0; i < n-1; i++ {
+		bbs[i].Add(ir.MovI(1, int64(i)))
+		switch rng.Intn(3) {
+		case 0:
+			bbs[i].Jmp(ir.BlockID(rng.Intn(n)))
+		case 1:
+			bbs[i].Br(1, ir.BlockID(rng.Intn(n)), ir.BlockID(rng.Intn(n)))
+		default:
+			k := 2 + rng.Intn(3)
+			targets := make([]ir.BlockID, k)
+			for j := range targets {
+				targets[j] = ir.BlockID(rng.Intn(n))
+			}
+			bbs[i].Switch(1, targets...)
+		}
+	}
+	bbs[n-1].Ret(0)
+	prog := bd.Program()
+	if err := ir.Verify(prog); err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+// RandExecProg builds a random *executable, guaranteed-terminating*
+// program with about n blocks in main: bodies of ALU/compare/emit
+// instructions that only read registers already written (arguments
+// r1..r7 or defs earlier in the same block), forward-only branch and
+// switch targets (so the CFG is a DAG), optionally one counted loop
+// whose back edge is guarded by a strictly decreasing counter, and
+// optionally calls into a small leaf procedure. No loads or stores, so
+// no run can fault; every run terminates because the only cycle passes
+// through the decrementing loop head.
+func RandExecProg(seed int64, n int) *ir.Program {
+	rng := rand.New(rand.NewSource(seed))
+	if n < 4 {
+		n = 4
+	}
+	bd := ir.NewBuilder("randexec", 16)
+	main := bd.Proc("main")
+	var leafID ir.ProcID
+	hasLeaf := rng.Intn(2) == 0
+	if hasLeaf {
+		leaf := bd.Proc("leaf")
+		leafID = leaf.ID()
+		fillExecBlocks(leaf, 3+rng.Intn(3), rng, false, 0, false)
+	}
+	fillExecBlocks(main, n, rng, true, leafID, hasLeaf)
+	prog := bd.Program()
+	if err := ir.Verify(prog); err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+// Scratch registers the generator plays with; the loop counter and the
+// branch-condition temporary live above them so body defs never
+// clobber loop state.
+const (
+	scratchBase = ir.Reg(8)
+	scratchN    = 8
+	counterReg  = ir.Reg(24)
+	condReg     = ir.Reg(25)
+)
+
+func fillExecBlocks(pb *ir.ProcBuilder, n int, rng *rand.Rand, allowLoop bool, callee ir.ProcID, hasCallee bool) {
+	bbs := pb.NewBlocks(n)
+	loopHead := -1
+	if allowLoop && n >= 6 && rng.Intn(2) == 0 {
+		loopHead = 1 + rng.Intn(n-4) // head in 1..n-4, body non-empty
+	}
+	for i := 0; i < n-1; i++ {
+		bb := bbs[i]
+		defined := []ir.Reg{1, 2, 3, 4, 5, 6, 7}
+		if i == 0 && loopHead >= 0 {
+			bb.Add(ir.MovI(counterReg, int64(2+rng.Intn(4))))
+		}
+		cur := scratchBase + ir.Reg(rng.Intn(scratchN))
+		bb.Add(ir.MovI(cur, int64(rng.Intn(100))))
+		defined = append(defined, cur)
+		for j, k := 0, 1+rng.Intn(3); j < k; j++ {
+			dst := scratchBase + ir.Reg(rng.Intn(scratchN))
+			a := defined[rng.Intn(len(defined))]
+			b := defined[rng.Intn(len(defined))]
+			switch rng.Intn(5) {
+			case 0:
+				bb.Add(ir.Add(dst, a, b))
+			case 1:
+				bb.Add(ir.Sub(dst, a, b))
+			case 2:
+				bb.Add(ir.AddI(dst, a, int64(rng.Intn(16))))
+			case 3:
+				bb.Add(ir.CmpLT(dst, a, b))
+			default:
+				bb.Add(ir.Xor(dst, a, b))
+			}
+			defined = append(defined, dst)
+		}
+		if rng.Intn(3) == 0 {
+			bb.Add(ir.Emit(defined[rng.Intn(len(defined))]))
+		}
+
+		fwd := func() ir.BlockID { return ir.BlockID(i + 1 + rng.Intn(n-i-1)) }
+		cond := defined[len(defined)-1]
+		switch {
+		case i == loopHead:
+			// The only block with an incoming back edge: strictly
+			// decrease the counter and exit once it runs out, so the
+			// loop is bounded no matter how control reached the head.
+			bb.Add(ir.AddI(counterReg, counterReg, -1))
+			bb.Add(ir.CmpGTI(condReg, counterReg, 0))
+			bb.Br(condReg, ir.BlockID(i+1), ir.BlockID(n-1))
+		case i == n-2 && loopHead >= 0:
+			bb.Jmp(ir.BlockID(loopHead)) // the loop's sole back edge
+		case hasCallee && rng.Intn(4) == 0:
+			nargs := rng.Intn(3)
+			args := make([]ir.Reg, nargs)
+			for j := range args {
+				args[j] = defined[rng.Intn(len(defined))]
+			}
+			bb.Call(scratchBase+ir.Reg(rng.Intn(scratchN)), callee, fwd(), args...)
+		default:
+			switch rng.Intn(3) {
+			case 0:
+				bb.Jmp(fwd())
+			case 1:
+				bb.Br(cond, fwd(), fwd())
+			default:
+				k := 2 + rng.Intn(3)
+				targets := make([]ir.BlockID, k)
+				for j := range targets {
+					targets[j] = fwd()
+				}
+				bb.Switch(cond, targets...)
+			}
+		}
+	}
+	bbs[n-1].Add(ir.MovI(ir.RegRet, int64(rng.Intn(50))))
+	bbs[n-1].Ret(ir.RegRet)
+}

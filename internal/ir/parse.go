@@ -134,6 +134,9 @@ func (p *parser) blockHeader(line string) error {
 	if err != nil {
 		return err
 	}
+	if int(id) < len(p.proc.Blocks) {
+		return fmt.Errorf("duplicate block label b%d", id)
+	}
 	if int(id) != len(p.proc.Blocks) {
 		return fmt.Errorf("block b%d out of order (expected b%d)", id, len(p.proc.Blocks))
 	}

@@ -45,7 +45,12 @@ func verifyProc(prog *Program, p *Proc) error {
 	if len(p.Blocks) == 0 {
 		return errors.New("no blocks")
 	}
+	seen := make(map[BlockID]int, len(p.Blocks))
 	for i, b := range p.Blocks {
+		if j, dup := seen[b.ID]; dup {
+			return fmt.Errorf("duplicate block id b%d at indices %d and %d", b.ID, j, i)
+		}
+		seen[b.ID] = i
 		if b.ID != BlockID(i) {
 			return fmt.Errorf("block at index %d has id b%d", i, b.ID)
 		}
@@ -88,6 +93,16 @@ func verifyBlock(prog *Program, p *Proc, b *Block) error {
 	}
 	if b.ExitUnits != nil && len(b.ExitUnits) != len(b.Instrs) {
 		return fmt.Errorf("ExitUnits covers %d of %d instructions", len(b.ExitUnits), len(b.Instrs))
+	}
+	if b.Units != nil {
+		if len(b.Units) != len(b.Instrs) {
+			return fmt.Errorf("Units covers %d of %d instructions", len(b.Units), len(b.Instrs))
+		}
+		for i, u := range b.Units {
+			if u < 1 || (b.SBSize > 0 && u > b.SBSize) {
+				return fmt.Errorf("Units[%d] = %d outside unit range 1..%d", i, u, b.SBSize)
+			}
+		}
 	}
 	if b.Cycles != nil {
 		if len(b.Cycles) != len(b.Instrs) {
@@ -184,6 +199,11 @@ func verifyInstr(prog *Program, p *Proc, ins *Instr) error {
 	for _, r := range [...]Reg{ins.Dst, ins.Src1, ins.Src2} {
 		if r < 0 {
 			return fmt.Errorf("negative register %d", r)
+		}
+	}
+	for _, r := range ins.Args {
+		if r < 0 {
+			return fmt.Errorf("negative argument register %d", r)
 		}
 	}
 	return nil

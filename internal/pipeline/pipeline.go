@@ -40,8 +40,10 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"testing"
 
 	"pathsched/internal/bench"
+	"pathsched/internal/check"
 	"pathsched/internal/core"
 	"pathsched/internal/interp"
 	"pathsched/internal/ir"
@@ -72,6 +74,21 @@ const (
 func AllSchemes() []Scheme {
 	return []Scheme{SchemeBB, SchemeM4, SchemeM16, SchemeP4e, SchemeP4}
 }
+
+// CheckMode selects whether the semantic checker (internal/check)
+// gates each pipeline stage.
+type CheckMode int
+
+const (
+	// CheckAuto (the zero value) enables checking under `go test` and
+	// disables it otherwise, so every test run validates the pipeline
+	// at no cost to production measurement runs.
+	CheckAuto CheckMode = iota
+	// CheckOn always checks.
+	CheckOn
+	// CheckOff never checks.
+	CheckOff
+)
 
 // Options configures a pipeline run.
 type Options struct {
@@ -105,6 +122,15 @@ type Options struct {
 	// historical every-scheme-recompiles behavior. The differential
 	// tests pin cached runs byte-identical to this path.
 	DisableProfileCache bool
+	// Check gates each stage with the semantic analyses of
+	// internal/check: profile flow conservation after profiling,
+	// superblock invariants after formation, schedule legality and
+	// def-before-use after compaction, and flow conservation of the
+	// layout profile. Stage checks run on cache misses; a cache hit
+	// returns a result whose (content-identical) inputs were checked
+	// when first compiled. Checking is purely observational — it never
+	// changes results, so it deliberately does not enter cache keys.
+	Check CheckMode
 }
 
 // Measurement is one (benchmark, scheme) data point.
@@ -149,6 +175,7 @@ type Result struct {
 type Runner struct {
 	opts  Options
 	cache *Cache // nil when caching is disabled
+	check bool   // resolved CheckMode
 }
 
 // NewRunner returns a runner with the given options.
@@ -165,6 +192,14 @@ func NewRunner(opts Options) *Runner {
 		opts.Parallelism = runtime.GOMAXPROCS(0)
 	}
 	r := &Runner{opts: opts}
+	switch opts.Check {
+	case CheckOn:
+		r.check = true
+	case CheckOff:
+		r.check = false
+	default:
+		r.check = testing.Testing()
+	}
 	if !opts.DisableProfileCache {
 		if r.cache = opts.ProfileCache; r.cache == nil {
 			r.cache = NewCache()
@@ -206,6 +241,19 @@ func (r *Runner) RunBenchmarkContext(ctx context.Context, b *bench.Benchmark, sc
 		return nil, fmt.Errorf("pipeline: %s: training run: %w", b.Name, err)
 	}
 	eprof, pprof := ep.Profile(), pp.Profile()
+	var bases benchBases
+	if r.check {
+		vs := check.EdgeFlow(trainProg, eprof)
+		vs = append(vs, check.PathFlow(trainProg, pprof, eprof)...)
+		if err := check.Err("profile", vs); err != nil {
+			return nil, fmt.Errorf("pipeline: %s: %w", b.Name, err)
+		}
+		// The def-before-use baselines are functions of the pristine
+		// builds alone, so compute them once here rather than inside
+		// every scheme compile (ten per benchmark).
+		bases.train = check.BaselineOf(trainProg)
+		bases.test = check.BaselineOf(testProg)
+	}
 
 	// Reference output for the correctness cross-check. The pristine
 	// testing build doubles as the reference program: nothing below
@@ -232,7 +280,7 @@ func (r *Runner) RunBenchmarkContext(ctx context.Context, b *bench.Benchmark, sc
 	// assembly order is independent of completion order.
 	ms := make([]*Measurement, len(schemes))
 	err = forEachLimited(ctx, len(schemes), r.opts.Parallelism, func(ctx context.Context, i int) error {
-		m, err := r.runScheme(schemes[i], trainProg, testProg, eprof, pprof, ref, keys)
+		m, err := r.runScheme(schemes[i], trainProg, testProg, eprof, pprof, ref, keys, bases)
 		if err != nil {
 			return fmt.Errorf("pipeline: %s/%s: %w", b.Name, schemes[i], err)
 		}
@@ -293,11 +341,15 @@ func (r *Runner) formConfig(s Scheme, eprof *profile.EdgeProfile, pprof *profile
 // resolved for a scheme (haveCfg false selects the BB baseline). prog
 // is treated as read-only — formation clones internally and the BB
 // baseline clones explicitly — so one shared build can feed concurrent
-// scheme compiles.
-func (r *Runner) compileWith(prog *ir.Program, cfg core.Config, haveCfg bool) (*ir.Program, core.Stats, error) {
+// scheme compiles. base is prog's precomputed def-before-use baseline
+// (nil when checking is off).
+func (r *Runner) compileWith(prog *ir.Program, base check.Baseline, cfg core.Config, haveCfg bool) (*ir.Program, core.Stats, error) {
 	if !haveCfg {
 		bb := ir.CloneProgram(prog)
 		if err := sched.CompactBasicBlocks(bb, r.opts.Sched); err != nil {
+			return nil, core.Stats{}, err
+		}
+		if err := r.checkCompacted(base, bb); err != nil {
 			return nil, core.Stats{}, err
 		}
 		return bb, core.Stats{}, nil
@@ -306,10 +358,33 @@ func (r *Runner) compileWith(prog *ir.Program, cfg core.Config, haveCfg bool) (*
 	if err != nil {
 		return nil, core.Stats{}, err
 	}
+	if r.check {
+		if err := check.Err("form", check.Superblocks(formed)); err != nil {
+			return nil, core.Stats{}, err
+		}
+	}
 	if err := sched.Compact(formed, r.opts.Sched); err != nil {
 		return nil, core.Stats{}, err
 	}
+	if err := r.checkCompacted(base, formed.Prog); err != nil {
+		return nil, core.Stats{}, err
+	}
 	return formed.Prog, formed.Stats, nil
+}
+
+// checkCompacted gates a compaction result: the emitted schedules must
+// be legal for the machine, and the transformed program must not read
+// any register the pristine input did not already possibly read
+// undefined (renaming and allocation bugs surface exactly there). base
+// is the pristine input's baseline, shared across every compile of the
+// same build.
+func (r *Runner) checkCompacted(base check.Baseline, bin *ir.Program) error {
+	if !r.check {
+		return nil
+	}
+	vs := check.Schedules(bin, r.opts.Sched.Machine)
+	vs = append(vs, check.DefBeforeUse(bin, base)...)
+	return check.Err("compact", vs)
 }
 
 // benchKeys carries one benchmark's pristine-build fingerprints to the
@@ -317,6 +392,13 @@ func (r *Runner) compileWith(prog *ir.Program, cfg core.Config, haveCfg bool) (*
 type benchKeys struct {
 	on          bool
 	train, test ir.Digest
+}
+
+// benchBases carries one benchmark's pristine-build def-before-use
+// baselines to the scheme workers; the zero value (checking off) is
+// fine because checkCompacted never touches it then.
+type benchBases struct {
+	train, test check.Baseline
 }
 
 // compileKey content-addresses one compile: the pristine build being
@@ -360,9 +442,9 @@ func (r *Runner) compileKey(progFP, trainFP ir.Digest, cfg core.Config, haveCfg 
 // cachedCompile returns the memoized compile of prog under key,
 // computing and fingerprinting it on a miss. The returned master is
 // immutable; callers clone before mutating.
-func (r *Runner) cachedCompile(key ir.Digest, prog *ir.Program, cfg core.Config, haveCfg bool) (*compiled, error) {
+func (r *Runner) cachedCompile(key ir.Digest, prog *ir.Program, base check.Baseline, cfg core.Config, haveCfg bool) (*compiled, error) {
 	return r.cache.compile(key, func() (*compiled, error) {
-		bin, stats, err := r.compileWith(prog, cfg, haveCfg)
+		bin, stats, err := r.compileWith(prog, base, cfg, haveCfg)
 		if err != nil {
 			return nil, err
 		}
@@ -375,7 +457,7 @@ func (r *Runner) cachedCompile(key ir.Digest, prog *ir.Program, cfg core.Config,
 // training build, via the cache when one is configured. It returns a
 // private (mutable) testing binary, the formation stats of its
 // compile, and the layout weights to assign to it.
-func (r *Runner) buildScheme(s Scheme, trainProg, testProg *ir.Program, eprof *profile.EdgeProfile, pprof *profile.PathProfile, keys benchKeys) (*ir.Program, core.Stats, layout.Input, error) {
+func (r *Runner) buildScheme(s Scheme, trainProg, testProg *ir.Program, eprof *profile.EdgeProfile, pprof *profile.PathProfile, keys benchKeys, bases benchBases) (*ir.Program, core.Stats, layout.Input, error) {
 	cfg, haveCfg, err := r.formConfig(s, eprof, pprof)
 	if err != nil {
 		return nil, core.Stats{}, layout.Input{}, err
@@ -386,18 +468,18 @@ func (r *Runner) buildScheme(s Scheme, trainProg, testProg *ir.Program, eprof *p
 		// harvest layout weights, then the testing build for
 		// measurement. Formation is deterministic given (CFG, profile),
 		// so both compiles produce the same structure.
-		trainBin, _, err := r.compileWith(trainProg, cfg, haveCfg)
+		trainBin, _, err := r.compileWith(trainProg, bases.train, cfg, haveCfg)
 		if err != nil {
 			return nil, core.Stats{}, layout.Input{}, fmt.Errorf("train compile: %w", err)
 		}
-		testBin, stats, err := r.compileWith(testProg, cfg, haveCfg)
+		testBin, stats, err := r.compileWith(testProg, bases.test, cfg, haveCfg)
 		if err != nil {
 			return nil, core.Stats{}, layout.Input{}, fmt.Errorf("test compile: %w", err)
 		}
 		if err := checkSameShape(trainBin, testBin); err != nil {
 			return nil, core.Stats{}, layout.Input{}, fmt.Errorf("formed builds diverge: %w", err)
 		}
-		lw, err := layoutWeights(trainBin)
+		lw, err := r.layoutWeights(trainBin)
 		if err != nil {
 			return nil, core.Stats{}, layout.Input{}, err
 		}
@@ -406,11 +488,11 @@ func (r *Runner) buildScheme(s Scheme, trainProg, testProg *ir.Program, eprof *p
 
 	// Cached path: the same steps, each memoized by content address
 	// and deduplicated across concurrent scheme workers.
-	trainC, err := r.cachedCompile(r.compileKey(keys.train, keys.train, cfg, haveCfg), trainProg, cfg, haveCfg)
+	trainC, err := r.cachedCompile(r.compileKey(keys.train, keys.train, cfg, haveCfg), trainProg, bases.train, cfg, haveCfg)
 	if err != nil {
 		return nil, core.Stats{}, layout.Input{}, fmt.Errorf("train compile: %w", err)
 	}
-	testC, err := r.cachedCompile(r.compileKey(keys.test, keys.train, cfg, haveCfg), testProg, cfg, haveCfg)
+	testC, err := r.cachedCompile(r.compileKey(keys.test, keys.train, cfg, haveCfg), testProg, bases.test, cfg, haveCfg)
 	if err != nil {
 		return nil, core.Stats{}, layout.Input{}, fmt.Errorf("test compile: %w", err)
 	}
@@ -424,7 +506,7 @@ func (r *Runner) buildScheme(s Scheme, trainProg, testProg *ir.Program, eprof *p
 	// state is private and its decode memo is published atomically —
 	// so no clone is needed.
 	lp, err := r.cache.layout(trainC.fp, func() (*layoutProfile, error) {
-		return layoutWeights(trainC.master)
+		return r.layoutWeights(trainC.master)
 	})
 	if err != nil {
 		return nil, core.Stats{}, layout.Input{}, err
@@ -434,20 +516,26 @@ func (r *Runner) buildScheme(s Scheme, trainProg, testProg *ir.Program, eprof *p
 
 // layoutWeights runs the transformed training build once and returns
 // the frozen weights layout.Assign consumes.
-func layoutWeights(trainBin *ir.Program) (*layoutProfile, error) {
+func (r *Runner) layoutWeights(trainBin *ir.Program) (*layoutProfile, error) {
 	lep := profile.NewEdgeProfiler(trainBin)
 	cg := profile.NewCallGraphProfiler()
 	if _, err := interp.Run(trainBin, interp.Config{Observer: profile.Multi{lep, cg}}); err != nil {
 		return nil, fmt.Errorf("layout training run: %w", err)
 	}
-	return &layoutProfile{calls: cg.Counts(), prof: lep.Profile()}, nil
+	prof := lep.Profile()
+	if r.check {
+		if err := check.Err("layout", check.EdgeFlow(trainBin, prof)); err != nil {
+			return nil, err
+		}
+	}
+	return &layoutProfile{calls: cg.Counts(), prof: prof}, nil
 }
 
 // runScheme compiles and measures one scheme. trainProg and testProg
 // are the benchmark's shared pristine builds; runScheme only reads them
 // (compileWith clones), so concurrent scheme runs can share one pair.
-func (r *Runner) runScheme(s Scheme, trainProg, testProg *ir.Program, eprof *profile.EdgeProfile, pprof *profile.PathProfile, ref *interp.Result, keys benchKeys) (*Measurement, error) {
-	testBin, stats, lin, err := r.buildScheme(s, trainProg, testProg, eprof, pprof, keys)
+func (r *Runner) runScheme(s Scheme, trainProg, testProg *ir.Program, eprof *profile.EdgeProfile, pprof *profile.PathProfile, ref *interp.Result, keys benchKeys, bases benchBases) (*Measurement, error) {
+	testBin, stats, lin, err := r.buildScheme(s, trainProg, testProg, eprof, pprof, keys, bases)
 	if err != nil {
 		return nil, err
 	}

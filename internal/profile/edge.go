@@ -163,6 +163,43 @@ func (e *EdgeProfile) EdgeFreq(p ir.ProcID, from, to ir.BlockID) int64 {
 	return 0
 }
 
+// NumProcs returns the number of procedures the profile covers.
+func (e *EdgeProfile) NumProcs() int { return len(e.procs) }
+
+// NumBlocks returns the number of blocks with counters in procedure p
+// (at least the procedure's block count when the profiler was built
+// over a program).
+func (e *EdgeProfile) NumBlocks(p ir.ProcID) int {
+	if int(p) >= len(e.procs) {
+		return 0
+	}
+	return len(e.procs[p].block)
+}
+
+// ForEachSucc calls fn for every recorded successor edge b→to with its
+// traversal count, in first-observed order.
+func (e *EdgeProfile) ForEachSucc(p ir.ProcID, b ir.BlockID, fn func(to ir.BlockID, n int64)) {
+	pe := e.procs[p]
+	if b < 0 || int(b) >= len(pe.succID) {
+		return
+	}
+	for k, id := range pe.succID[b] {
+		fn(id, pe.succN[b][k])
+	}
+}
+
+// ForEachPred calls fn for every recorded predecessor edge from→b with
+// its traversal count, in first-observed order.
+func (e *EdgeProfile) ForEachPred(p ir.ProcID, b ir.BlockID, fn func(from ir.BlockID, n int64)) {
+	pe := e.procs[p]
+	if b < 0 || int(b) >= len(pe.predID) {
+		return
+	}
+	for k, id := range pe.predID[b] {
+		fn(id, pe.predN[b][k])
+	}
+}
+
 // listArgmax returns the id with the largest positive count (ties
 // toward the smallest id), or (NoBlock, 0) when every count is zero:
 // the same contract as the map-based argmax used for path queries.

@@ -316,6 +316,72 @@ type PathProfile struct {
 // Depth returns the branch-depth bound the profile was gathered with.
 func (pf *PathProfile) Depth() int { return pf.cfg.Depth }
 
+// CrossActivation reports whether the profile was gathered with one
+// window per procedure (recursion interleaves) rather than one per
+// activation. Consumers comparing path-derived point statistics against
+// an edge profile of the same run can expect exact agreement only when
+// this is false.
+func (pf *PathProfile) CrossActivation() bool { return pf.cfg.CrossActivation }
+
+// NumProcs returns the number of procedures the profile covers.
+func (pf *PathProfile) NumProcs() int { return len(pf.procs) }
+
+// ForEachSeq calls fn for every indexed block sequence of procedure p
+// with its exact occurrence count, in unspecified order. The slice
+// passed to fn is freshly allocated per call and may be retained.
+func (pf *PathProfile) ForEachSeq(p ir.ProcID, fn func(seq []ir.BlockID, n int64)) {
+	if int(p) >= len(pf.procs) {
+		return
+	}
+	for k, n := range pf.procs[p].freq {
+		fn(decodeSeqKey(k), n)
+	}
+}
+
+// ForEachSeqKey is ForEachSeq over the raw interned keys: no decoding,
+// no per-call allocation. A key encodes its sequence as 4 bytes per
+// block, so key[i*4:(i+2)*4] is the key of the i-th adjacent pair and
+// FreqKey answers subsequence queries with zero-allocation substrings.
+// Bulk consumers (the profile-consistency checker sweeps every indexed
+// sequence of every procedure) need this; everything else should stay
+// on the decoded API.
+func (pf *PathProfile) ForEachSeqKey(p ir.ProcID, fn func(key string, n int64)) {
+	if int(p) >= len(pf.procs) {
+		return
+	}
+	for k, n := range pf.procs[p].freq {
+		fn(k, n)
+	}
+}
+
+// NumSeqs returns the number of distinct indexed sequences of
+// procedure p — the number of calls a ForEachSeqKey sweep will make.
+func (pf *PathProfile) NumSeqs(p ir.ProcID) int {
+	if int(p) >= len(pf.procs) {
+		return 0
+	}
+	return len(pf.procs[p].freq)
+}
+
+// FreqKey is Freq for a raw key (see ForEachSeqKey).
+func (pf *PathProfile) FreqKey(p ir.ProcID, key string) int64 {
+	return pf.procs[p].freq[key]
+}
+
+// SuccTotalKey returns the summed frequency of all one-block
+// extensions of the sequence encoded by key.
+func (pf *PathProfile) SuccTotalKey(p ir.ProcID, key string) int64 {
+	var total int64
+	for _, n := range pf.procs[p].succs[key] {
+		total += n
+	}
+	return total
+}
+
+// DecodeKey decodes a raw key (see ForEachSeqKey) back into its block
+// sequence.
+func DecodeKey(key string) []ir.BlockID { return decodeSeqKey(key) }
+
 // Freq returns the exact number of times the contiguous block sequence
 // seq executed in procedure p, provided seq fits within the profiling
 // depth (use TrimToDepth first for longer sequences). Sequences beyond

@@ -47,6 +47,17 @@ func seqKey(seq []ir.BlockID) string {
 	return string(buf)
 }
 
+// decodeSeqKey inverts seqKey.
+func decodeSeqKey(key string) []ir.BlockID {
+	seq := make([]ir.BlockID, len(key)/4)
+	for i := range seq {
+		v := uint32(key[4*i]) | uint32(key[4*i+1])<<8 |
+			uint32(key[4*i+2])<<16 | uint32(key[4*i+3])<<24
+		seq[i] = ir.BlockID(v)
+	}
+	return seq
+}
+
 // condBrMap precomputes, for one procedure, which blocks terminate in a
 // conditional or multiway branch (the blocks that consume path depth).
 func condBrMap(p *ir.Proc) []bool {

@@ -222,11 +222,13 @@ func eliminateDeadDefs(nodes []node) []node {
 func install(head *ir.Block, sb *core.Superblock, nodes []node, cycles []int32, span int32) {
 	head.Instrs = make([]ir.Instr, len(nodes))
 	head.ExitUnits = make([]int32, len(nodes))
+	head.Units = make([]int32, len(nodes))
 	for i := range nodes {
 		head.Instrs[i] = nodes[i].ins
 		if nodes[i].isExit {
 			head.ExitUnits[i] = int32(nodes[i].unit) + 1
 		}
+		head.Units[i] = int32(nodes[i].unit) + 1
 	}
 	head.Cycles = cycles
 	head.Span = span

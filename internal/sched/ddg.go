@@ -1,7 +1,6 @@
 package sched
 
 import (
-	"pathsched/internal/ir"
 	"pathsched/internal/machine"
 )
 
@@ -23,154 +22,23 @@ type ddg struct {
 	height []int32 // latency-weighted longest path to any sink
 }
 
-// buildDDG constructs dependences over the renamed nodes:
-//
-//   - register RAW/WAR/WAW edges (renaming removed most WAR/WAW);
-//   - conservative memory edges: stores conflict with every other
-//     memory operation, loads may reorder among themselves;
-//   - calls act as memory and output barriers;
-//   - emits stay ordered among themselves (the observable stream);
-//   - control edges: exits stay in program order, non-speculatable
-//     instructions may not cross an exit in either direction, and
-//     everything must issue no later than the final terminator.
-//
-// Speculatable instructions (ALU ops and loads) deliberately get no
-// control edges: moving them above exits is precisely the speculation
-// superblock scheduling exists for (§1, §2.3).
+// buildDDG constructs the DDG over the renamed nodes. The dependence
+// rules themselves live in Dependences (deps.go), shared with the
+// semantic checker in internal/check.
 func buildDDG(nodes []node, mc machine.Config) *ddg {
 	n := len(nodes)
+	items := make([]DepItem, n)
+	for i := range nodes {
+		items[i] = DepItem{Ins: nodes[i].ins, IsExit: nodes[i].isExit, LiveOut: nodes[i].liveOut}
+	}
 	g := &ddg{
 		succs:  make([][]edge, n),
 		npreds: make([]int, n),
 		height: make([]int32, n),
 	}
-	// Dedup edges cheaply with a last-added marker per (from) node.
-	addEdge := func(from, to int, lat int32) {
-		if from == to || from > to {
-			return
-		}
-		for _, e := range g.succs[from] {
-			if e.to == to {
-				if lat > e.lat {
-					// Keep the strongest constraint.
-					es := g.succs[from]
-					for i := range es {
-						if es[i].to == to {
-							es[i].lat = lat
-						}
-					}
-				}
-				return
-			}
-		}
-		g.succs[from] = append(g.succs[from], edge{to, lat})
-		g.npreds[to]++
-	}
-
-	lastDef := map[ir.Reg]int{}
-	lastUses := map[ir.Reg][]int{}
-	lastStore := -1
-	var loadsSinceStore []int
-	lastCall := -1
-	lastEmit := -1
-	lastExit := -1
-	var usesBuf []ir.Reg
-
-	for i := range nodes {
-		nd := &nodes[i]
-		op := nd.ins.Op
-
-		// Register uses (exits additionally "use" their live-out set).
-		usesBuf = nd.ins.Uses(usesBuf[:0])
-		if nd.isExit {
-			nd.liveOut.ForEach(func(r ir.Reg) { usesBuf = append(usesBuf, r) })
-		}
-		for _, u := range usesBuf {
-			if d, ok := lastDef[u]; ok {
-				addEdge(d, i, mc.Latency(nodes[d].ins.Op))
-			}
-			lastUses[u] = append(lastUses[u], i)
-		}
-		// Register def.
-		if nd.ins.HasDst() {
-			r := nd.ins.Dst
-			for _, u := range lastUses[r] {
-				addEdge(u, i, 0) // WAR: may share a cycle, program order wins
-			}
-			if d, ok := lastDef[r]; ok {
-				addEdge(d, i, 1) // WAW: strictly later cycle
-			}
-			lastDef[r] = i
-			lastUses[r] = lastUses[r][:0]
-		}
-
-		// Memory and side-effect ordering.
-		isCall := op == ir.OpCall
-		switch {
-		case op == ir.OpLoad:
-			if lastStore >= 0 {
-				addEdge(lastStore, i, 1)
-			}
-			if lastCall >= 0 {
-				addEdge(lastCall, i, 1)
-			}
-			loadsSinceStore = append(loadsSinceStore, i)
-		case op == ir.OpStore || isCall:
-			if lastStore >= 0 {
-				addEdge(lastStore, i, 1)
-			}
-			for _, l := range loadsSinceStore {
-				addEdge(l, i, 0)
-			}
-			if lastCall >= 0 {
-				addEdge(lastCall, i, 1)
-			}
-			lastStore = i
-			loadsSinceStore = loadsSinceStore[:0]
-			if isCall {
-				lastCall = i
-			}
-		}
-		if op == ir.OpEmit || isCall {
-			if lastEmit >= 0 {
-				addEdge(lastEmit, i, 1)
-			}
-			if lastCall >= 0 && lastCall != i {
-				addEdge(lastCall, i, 1)
-			}
-			lastEmit = i
-		}
-
-		// Control ordering.
-		if nd.isExit {
-			if lastExit >= 0 {
-				addEdge(lastExit, i, 1)
-			}
-			lastExit = i
-		} else if !nd.ins.CanSpeculate() {
-			// Pinned below the previous exit; the pass below also pins
-			// it above the next one.
-			if lastExit >= 0 {
-				addEdge(lastExit, i, 0)
-			}
-		}
-	}
-
-	// Second pass: pin non-speculatable, non-exit instructions before
-	// the next exit, and everything before the final terminator.
-	nextExit := -1
-	for i := n - 1; i >= 0; i-- {
-		if nodes[i].isExit {
-			nextExit = i
-			continue
-		}
-		if !nodes[i].ins.CanSpeculate() && nextExit >= 0 {
-			addEdge(i, nextExit, 0)
-		}
-	}
-	final := n - 1
-	for i := 0; i < final; i++ {
-		addEdge(i, final, 0)
+	for _, e := range Dependences(items, mc) {
+		g.succs[e.From] = append(g.succs[e.From], edge{e.To, e.Lat})
+		g.npreds[e.To]++
 	}
 
 	// Heights for the scheduling priority (critical path).

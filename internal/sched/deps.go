@@ -1,0 +1,256 @@
+package sched
+
+import (
+	"pathsched/internal/ir"
+	"pathsched/internal/machine"
+)
+
+// This file is the single source of truth for scheduling dependences.
+// The compactor's DDG (ddg.go) and the semantic checker
+// (internal/check) both consume Dependences, so the dependence and
+// latency rules cannot drift apart between the pass that uses them and
+// the pass that verifies them.
+
+// DepKind classifies a dependence edge, so consumers can distinguish
+// semantic orderings (flow, memory, observable stream, control) from
+// purely resource-conservative ones (a same-cycle WAW write pair is
+// harmless to the sequential retirement model but the scheduler still
+// separates it).
+type DepKind uint8
+
+const (
+	// DepRAW is a true (flow) dependence: To reads a register From
+	// writes, Lat = the producing opcode's latency.
+	DepRAW DepKind = iota
+	// DepWAR is an anti dependence: To overwrites a register From
+	// reads. Lat 0 — program order within a cycle suffices.
+	DepWAR
+	// DepWAW is an output dependence between two writes of one
+	// register.
+	DepWAW
+	// DepMem orders conflicting memory operations (and calls, which
+	// may touch memory).
+	DepMem
+	// DepOrder keeps the observable output stream (emits, calls) in
+	// program order.
+	DepOrder
+	// DepControl pins exits in program order and non-speculatable
+	// instructions between their neighboring exits.
+	DepControl
+)
+
+func (k DepKind) String() string {
+	switch k {
+	case DepRAW:
+		return "RAW"
+	case DepWAR:
+		return "WAR"
+	case DepWAW:
+		return "WAW"
+	case DepMem:
+		return "mem"
+	case DepOrder:
+		return "order"
+	case DepControl:
+		return "control"
+	}
+	return "dep?"
+}
+
+// DepEdge is one scheduling constraint: To may issue no earlier than
+// Lat cycles after From. Lat-0 edges permit sharing a cycle; program
+// order (From < To) then decides execution order.
+type DepEdge struct {
+	From, To int
+	Lat      int32
+	Kind     DepKind
+}
+
+// DepItem is one instruction of a linear scheduling region, in the
+// order dependences are computed over. IsExit marks instructions that
+// can transfer control out of the region; LiveOut is the union of the
+// live-in sets of an exit's targets — the registers whose values must
+// be architecturally correct if that exit is taken (the exit
+// conceptually "uses" them).
+type DepItem struct {
+	Ins     ir.Instr
+	IsExit  bool
+	LiveOut RegSet
+}
+
+// Dependences computes the scheduling dependences over items:
+//
+//   - register RAW/WAR/WAW edges (renaming removes most WAR/WAW);
+//   - conservative memory edges: stores conflict with every other
+//     memory operation, loads may reorder among themselves;
+//   - calls act as memory and output barriers;
+//   - emits stay ordered among themselves (the observable stream);
+//   - control edges: exits stay in program order, non-speculatable
+//     instructions may not cross an exit in either direction, and
+//     everything must issue no later than the final item.
+//
+// Speculatable instructions (ALU ops and loads) deliberately get no
+// control edges: moving them above exits is precisely the speculation
+// superblock scheduling exists for (§1, §2.3). All edges point forward
+// (From < To), so item order is a topological order. Parallel edges
+// between one (From, To) pair are merged, keeping the strongest
+// (largest-latency) constraint and the kind that first established it.
+func Dependences(items []DepItem, mc machine.Config) []DepEdge {
+	n := len(items)
+	// Edges live in one pooled singly-linked list per source node
+	// (head indices into a shared backing slice) instead of a slice
+	// per node: dependence graphs are built once per block on every
+	// compile, and the per-node append-and-grow pattern dominated the
+	// cost of the whole computation.
+	type pooledEdge struct {
+		edge DepEdge
+		next int32 // index into pool, -1 ends the list
+	}
+	heads := make([]int32, n)
+	for i := range heads {
+		heads[i] = -1
+	}
+	pool := make([]pooledEdge, 0, 8*n)
+	nEdges := 0
+	addEdge := func(from, to int, lat int32, kind DepKind) {
+		if from == to || from > to {
+			return
+		}
+		for j := heads[from]; j >= 0; j = pool[j].next {
+			if pool[j].edge.To == to {
+				if lat > pool[j].edge.Lat {
+					pool[j].edge.Lat = lat
+					pool[j].edge.Kind = kind
+				}
+				return
+			}
+		}
+		pool = append(pool, pooledEdge{
+			edge: DepEdge{From: from, To: to, Lat: lat, Kind: kind},
+			next: heads[from],
+		})
+		heads[from] = int32(len(pool) - 1)
+		nEdges++
+	}
+
+	lastDef := map[ir.Reg]int{}
+	lastUses := map[ir.Reg][]int{}
+	lastStore := -1
+	var loadsSinceStore []int
+	lastCall := -1
+	lastEmit := -1
+	lastExit := -1
+	var usesBuf []ir.Reg
+
+	for i := range items {
+		it := &items[i]
+		op := it.Ins.Op
+
+		// Register uses (exits additionally "use" their live-out set).
+		usesBuf = it.Ins.Uses(usesBuf[:0])
+		if it.IsExit {
+			it.LiveOut.ForEach(func(r ir.Reg) { usesBuf = append(usesBuf, r) })
+		}
+		for _, u := range usesBuf {
+			if d, ok := lastDef[u]; ok {
+				addEdge(d, i, mc.Latency(items[d].Ins.Op), DepRAW)
+			}
+			lastUses[u] = append(lastUses[u], i)
+		}
+		// Register def.
+		if it.Ins.HasDst() {
+			r := it.Ins.Dst
+			for _, u := range lastUses[r] {
+				addEdge(u, i, 0, DepWAR) // may share a cycle, program order wins
+			}
+			if d, ok := lastDef[r]; ok {
+				addEdge(d, i, 1, DepWAW) // strictly later cycle
+			}
+			lastDef[r] = i
+			lastUses[r] = lastUses[r][:0]
+		}
+
+		// Memory and side-effect ordering.
+		isCall := op == ir.OpCall
+		switch {
+		case op == ir.OpLoad:
+			if lastStore >= 0 {
+				addEdge(lastStore, i, 1, DepMem)
+			}
+			if lastCall >= 0 {
+				addEdge(lastCall, i, 1, DepMem)
+			}
+			loadsSinceStore = append(loadsSinceStore, i)
+		case op == ir.OpStore || isCall:
+			if lastStore >= 0 {
+				addEdge(lastStore, i, 1, DepMem)
+			}
+			for _, l := range loadsSinceStore {
+				addEdge(l, i, 0, DepMem)
+			}
+			if lastCall >= 0 {
+				addEdge(lastCall, i, 1, DepMem)
+			}
+			lastStore = i
+			loadsSinceStore = loadsSinceStore[:0]
+			if isCall {
+				lastCall = i
+			}
+		}
+		if op == ir.OpEmit || isCall {
+			if lastEmit >= 0 {
+				addEdge(lastEmit, i, 1, DepOrder)
+			}
+			if lastCall >= 0 && lastCall != i {
+				addEdge(lastCall, i, 1, DepOrder)
+			}
+			lastEmit = i
+		}
+
+		// Control ordering.
+		if it.IsExit {
+			if lastExit >= 0 {
+				addEdge(lastExit, i, 1, DepControl)
+			}
+			lastExit = i
+		} else if !it.Ins.CanSpeculate() {
+			// Pinned below the previous exit; the pass below also pins
+			// it above the next one.
+			if lastExit >= 0 {
+				addEdge(lastExit, i, 0, DepControl)
+			}
+		}
+	}
+
+	// Second pass: pin non-speculatable, non-exit instructions before
+	// the next exit, and everything before the final item.
+	nextExit := -1
+	for i := n - 1; i >= 0; i-- {
+		if items[i].IsExit {
+			nextExit = i
+			continue
+		}
+		if !items[i].Ins.CanSpeculate() && nextExit >= 0 {
+			addEdge(i, nextExit, 0, DepControl)
+		}
+	}
+	final := n - 1
+	for i := 0; i < final; i++ {
+		addEdge(i, final, 0, DepControl)
+	}
+
+	out := make([]DepEdge, 0, nEdges)
+	for _, h := range heads {
+		// Lists are most-recent-first; reverse each node's run so the
+		// result keeps insertion order, exactly as the slice-per-node
+		// representation produced it.
+		start := len(out)
+		for j := h; j >= 0; j = pool[j].next {
+			out = append(out, pool[j].edge)
+		}
+		for i, j := start, len(out)-1; i < j; i, j = i+1, j-1 {
+			out[i], out[j] = out[j], out[i]
+		}
+	}
+	return out
+}

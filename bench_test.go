@@ -22,6 +22,7 @@ import (
 	"pathsched/internal/bench"
 	"pathsched/internal/core"
 	"pathsched/internal/interp"
+	"pathsched/internal/ir"
 	"pathsched/internal/machine"
 	"pathsched/internal/pipeline"
 	"pathsched/internal/profile"
@@ -188,6 +189,24 @@ func BenchmarkProfiling(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			pp := profile.NewPathProfiler(prog, profile.PathConfig{})
 			if _, err := interp.Run(prog, interp.Config{Observer: pp}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// The fast paths the pipeline actually takes: a batched path
+	// profiler on a counted run with edge/call reconstruction
+	// (profile.Train), and the observer-free fused point profile
+	// (profile.PointProfiles).
+	b.Run("fast-train", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := profile.Train(prog, profile.PathConfig{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fused-edge", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := profile.PointProfiles(prog); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -364,6 +383,141 @@ func BenchmarkProfilerHotPath(b *testing.B) {
 		}
 		b.ReportMetric(float64(len(rec.events))*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mevents/s")
 	})
+	b.Run("multi", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			replay(profile.Multi{
+				profile.NewEdgeProfiler(prog),
+				profile.NewPathProfiler(prog, profile.PathConfig{}),
+				profile.NewCallGraphProfiler(),
+			})
+		}
+		b.ReportMetric(float64(len(rec.events))*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mevents/s")
+	})
+}
+
+// batchEv is one captured BatchObserver callback, for replay.
+type batchEv struct {
+	kind  byte // 0 begin, 1 end, 2 batch
+	p     ProcID
+	entry BlockID
+	recs  []interp.EdgeRec
+}
+
+type batchRecorder struct {
+	events []batchEv
+	nrecs  int
+	limit  int
+}
+
+func (r *batchRecorder) BeginProc(p ProcID, entry BlockID) {
+	if r.nrecs < r.limit {
+		r.events = append(r.events, batchEv{kind: 0, p: p, entry: entry})
+	}
+}
+func (r *batchRecorder) EndProc(p ProcID) {
+	if r.nrecs < r.limit {
+		r.events = append(r.events, batchEv{kind: 1, p: p})
+	}
+}
+func (r *batchRecorder) EdgeBatch(p ProcID, recs []interp.EdgeRec) {
+	if r.nrecs < r.limit {
+		r.events = append(r.events, batchEv{kind: 2, p: p,
+			recs: append([]interp.EdgeRec(nil), recs...)})
+		r.nrecs += len(recs)
+	}
+}
+
+// BenchmarkProfilerBatchHotPath measures the batched delivery path of
+// the path profiler — BeginProc/EdgeBatch/EndProc over a captured
+// batch stream from a real training run — against which the per-event
+// replay in BenchmarkProfilerHotPath/path is the baseline.
+func BenchmarkProfilerBatchHotPath(b *testing.B) {
+	bm := bench.ByName("wc")
+	prog := bm.Build(bm.Train)
+	rec := &batchRecorder{limit: 1 << 17}
+	if _, err := interp.Run(prog, interp.Config{Batch: rec}); err != nil {
+		b.Fatal(err)
+	}
+	var events int
+	for _, ev := range rec.events {
+		events += 1 + len(ev.recs)
+	}
+	for i := 0; i < b.N; i++ {
+		pp := profile.NewPathProfiler(prog, profile.PathConfig{})
+		for _, ev := range rec.events {
+			switch ev.kind {
+			case 0:
+				pp.BeginProc(ev.p, ev.entry)
+			case 1:
+				pp.EndProc(ev.p)
+			case 2:
+				pp.EdgeBatch(ev.p, ev.recs)
+			}
+		}
+	}
+	b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mrecords/s")
+}
+
+// branchyChain builds an n-block procedure where every block ends in a
+// conditional branch to the next two blocks (mod n). It is never
+// executed — it only gives the path profiler a legal CFG — so block
+// walks can be synthesized to stress specific automaton behaviours.
+func branchyChain(n int) *Program {
+	bd := NewBuilder("chainbench", 8)
+	pb := bd.Proc("main")
+	bbs := pb.NewBlocks(n)
+	for i, bb := range bbs {
+		bb.Add(ir.MovI(1, int64(i)))
+		bb.Br(1, bbs[(i+1)%n].ID(), bbs[(i+2)%n].ID())
+	}
+	return bd.Program()
+}
+
+// chainWalk synthesizes a legal random walk of m blocks over a
+// branchyChain program (deterministic via a fixed linear generator).
+func chainWalk(n, m int) []BlockID {
+	walk := make([]BlockID, m)
+	state := uint64(12345)
+	cur := 0
+	for i := range walk {
+		walk[i] = BlockID(cur)
+		state = state*6364136223846793005 + 1442695040888963407
+		cur = (cur + 1 + int(state>>63)) % n
+	}
+	return walk
+}
+
+// BenchmarkProfilerAutomaton isolates the path automaton itself: the
+// per-block step cost in dense mode (successor slices indexed by
+// BlockID) and in the map-fallback mode used above the block-count
+// threshold, plus the node-creation (intern) rate on a cold automaton.
+// Every conditional block consumes profiling depth, so a random walk
+// over branchyChain churns distinct windows far harder than real
+// training runs do.
+func BenchmarkProfilerAutomaton(b *testing.B) {
+	const m = 1 << 16
+	run := func(b *testing.B, nblocks int, wantDense bool) {
+		prog := branchyChain(nblocks)
+		walk := chainWalk(nblocks, m)
+		for i := 0; i < b.N; i++ {
+			pp := profile.NewPathProfiler(prog, profile.PathConfig{})
+			pp.EnterProc(0, walk[0])
+			for _, blk := range walk {
+				pp.Block(0, blk)
+			}
+			pp.ExitProc(0)
+			if i == 0 {
+				st := pp.AutomatonStats()[0]
+				if st.Dense != wantDense {
+					b.Fatalf("dense = %v, want %v", st.Dense, wantDense)
+				}
+				b.ReportMetric(float64(st.Nodes), "nodes")
+			}
+		}
+		b.ReportMetric(float64(m)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mblocks/s")
+	}
+	b.Run("dense", func(b *testing.B) { run(b, 64, true) })
+	b.Run("map", func(b *testing.B) { run(b, 160, false) })
 }
 
 // BenchmarkInterpreter measures raw scheduled-code execution speed.

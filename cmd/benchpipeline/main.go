@@ -44,15 +44,15 @@ type armStats struct {
 }
 
 type report struct {
-	Benchmarks      []string `json:"benchmarks"`
-	Schemes         []string `json:"schemes"`
-	TrialCount      int      `json:"trials"`
-	Parallelism     int      `json:"parallelism"`
-	GoVersion       string   `json:"go_version"`
-	GOMAXPROCS      int      `json:"gomaxprocs"`
-	Off             armStats `json:"cache_off"`
-	Cold            armStats `json:"cache_cold"`
-	Warm            armStats `json:"cache_warm"`
+	Benchmarks  []string `json:"benchmarks"`
+	Schemes     []string `json:"schemes"`
+	TrialCount  int      `json:"trials"`
+	Parallelism int      `json:"parallelism"`
+	GoVersion   string   `json:"go_version"`
+	GOMAXPROCS  int      `json:"gomaxprocs"`
+	Off         armStats `json:"cache_off"`
+	Cold        armStats `json:"cache_cold"`
+	Warm        armStats `json:"cache_warm"`
 	// Speedups are medians of per-trial off/arm ratios; >1 means the
 	// cached arm finished the suite faster than the cache-off arm of
 	// the same trial.

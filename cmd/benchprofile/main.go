@@ -1,0 +1,238 @@
+// Command benchprofile measures the fast profiling paths (batched path
+// observation, counter-fused edge profiles) against the legacy
+// per-event observers and the no-observer measurement run, and writes
+// the result to BENCH_profile.json.
+//
+// Like benchinterp, it assumes a noisy shared machine: every trial
+// times the two sides of a comparison adjacently (alternating which
+// goes first), the speedup is the median of the per-trial ratios —
+// drift that moves both halves of a pair cancels — and the reported
+// throughputs are per-side medians across trials.
+//
+// Pairs reported:
+//
+//	train        legacy per-event training run (edge+path+callgraph
+//	             observers) vs the fast path profile.Train takes on
+//	             decodable programs (batched path profiler on a counted
+//	             run, edge/call profiles reconstructed from counters)
+//	train-noobs  no-observer measurement run vs the fast training run
+//	             (how close training gets to observer-free speed)
+//	edge         no-observer run vs the counter-fused point-profiling
+//	             run (profile.PointProfiles); the fused run carries no
+//	             observer, so this is its total overhead
+//	edge-legacy  legacy per-event edge+callgraph run vs the fused run
+//
+// Usage:
+//
+//	go run ./cmd/benchprofile [-trials N] [-mintime D] [-o BENCH_profile.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"pathsched"
+	"pathsched/internal/bench"
+	"pathsched/internal/interp"
+	"pathsched/internal/profile"
+)
+
+type sideStats struct {
+	Mode         string    `json:"mode"`
+	MinstrPerSec float64   `json:"minstr_per_sec"` // median across trials
+	Trials       []float64 `json:"trials"`
+}
+
+type pairResult struct {
+	DynInstrs int64     `json:"dyn_instrs"` // per run, identical on every side
+	Base      sideStats `json:"base"`
+	Fast      sideStats `json:"fast"`
+	// Speedup is the median of per-trial fast/base throughput ratios
+	// (each ratio compares adjacent timings, so machine drift between
+	// trials cancels out of it).
+	Speedup float64 `json:"speedup"`
+}
+
+type report struct {
+	Benchmark        string                 `json:"benchmark"`
+	TrialsPerSide    int                    `json:"trials_per_side"`
+	MinTimePerTrial  string                 `json:"min_time_per_trial"`
+	GoVersion        string                 `json:"go_version"`
+	GOMAXPROCS       int                    `json:"gomaxprocs"`
+	Pairs            map[string]*pairResult `json:"pairs"`
+	WallClockSeconds float64                `json:"wall_clock_seconds"`
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// mode is one way of running the training program once, profilers and
+// all. Every mode executes the same program, so the per-run dynamic
+// instruction count is shared and a mode only needs to report errors.
+type mode struct {
+	name string
+	run  func(*pathsched.Program) error
+}
+
+var modes = map[string]mode{
+	"noobs": {"no-observer run", func(p *pathsched.Program) error {
+		_, err := interp.Run(p, interp.Config{})
+		return err
+	}},
+	"legacy-train": {"per-event edge+path+callgraph observers", func(p *pathsched.Program) error {
+		ep := profile.NewEdgeProfiler(p)
+		pp := profile.NewPathProfiler(p, profile.PathConfig{})
+		cg := profile.NewCallGraphProfiler()
+		if _, err := interp.Run(p, interp.Config{Observer: profile.Multi{ep, pp, cg}}); err != nil {
+			return err
+		}
+		ep.Profile()
+		pp.Profile()
+		cg.Counts()
+		return nil
+	}},
+	"fast-train": {"batched path profiler + counter-fused edge/call reconstruction", func(p *pathsched.Program) error {
+		_, err := profile.Train(p, profile.PathConfig{})
+		return err
+	}},
+	"legacy-edge": {"per-event edge+callgraph observers", func(p *pathsched.Program) error {
+		ep := profile.NewEdgeProfiler(p)
+		cg := profile.NewCallGraphProfiler()
+		if _, err := interp.Run(p, interp.Config{Observer: profile.Multi{ep, cg}}); err != nil {
+			return err
+		}
+		ep.Profile()
+		cg.Counts()
+		return nil
+	}},
+	"fused-edge": {"no-observer counted run + edge/call reconstruction", func(p *pathsched.Program) error {
+		_, _, err := profile.PointProfiles(p)
+		return err
+	}},
+}
+
+// time1 runs the mode repeatedly for at least minTime and returns
+// Minstr/s given the per-run instruction count.
+func time1(m mode, prog *pathsched.Program, instrs int64, minTime time.Duration) (float64, error) {
+	var runs int64
+	start := time.Now()
+	for time.Since(start) < minTime {
+		if err := m.run(prog); err != nil {
+			return 0, err
+		}
+		runs++
+	}
+	elapsed := time.Since(start).Seconds()
+	return float64(instrs) * float64(runs) / elapsed / 1e6, nil
+}
+
+func measure(base, fast string, prog *pathsched.Program, instrs int64,
+	trials int, minTime time.Duration) (*pairResult, error) {
+	bm, fm := modes[base], modes[fast]
+	v := &pairResult{DynInstrs: instrs,
+		Base: sideStats{Mode: bm.name}, Fast: sideStats{Mode: fm.name}}
+	// Warm-up faults both paths in (the decode cache is already hot).
+	for _, m := range []mode{bm, fm} {
+		if err := m.run(prog); err != nil {
+			return nil, err
+		}
+	}
+	var ratios []float64
+	for t := 0; t < trials; t++ {
+		baseFirst := t%2 == 0
+		var b, f float64
+		var err error
+		if baseFirst {
+			b, err = time1(bm, prog, instrs, minTime)
+		} else {
+			f, err = time1(fm, prog, instrs, minTime)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if baseFirst {
+			f, err = time1(fm, prog, instrs, minTime)
+		} else {
+			b, err = time1(bm, prog, instrs, minTime)
+		}
+		if err != nil {
+			return nil, err
+		}
+		v.Base.Trials = append(v.Base.Trials, b)
+		v.Fast.Trials = append(v.Fast.Trials, f)
+		ratios = append(ratios, f/b)
+	}
+	v.Base.MinstrPerSec = median(v.Base.Trials)
+	v.Fast.MinstrPerSec = median(v.Fast.Trials)
+	v.Speedup = median(ratios)
+	return v, nil
+}
+
+func main() {
+	trials := flag.Int("trials", 12, "paired trials per comparison")
+	minTime := flag.Duration("mintime", 250*time.Millisecond, "minimum measuring time per side per trial")
+	out := flag.String("o", "BENCH_profile.json", "output file")
+	flag.Parse()
+
+	start := time.Now()
+	bm := bench.ByName("wc")
+	prog := bm.Build(bm.Train)
+	res, err := interp.Run(prog, interp.Config{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchprofile:", err)
+		os.Exit(1)
+	}
+	instrs := res.DynInstrs
+
+	rep := &report{
+		Benchmark:       bm.Name,
+		TrialsPerSide:   *trials,
+		MinTimePerTrial: minTime.String(),
+		GoVersion:       runtime.Version(),
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		Pairs:           map[string]*pairResult{},
+	}
+	for _, p := range []struct{ name, base, fast string }{
+		{"train", "legacy-train", "fast-train"},
+		{"train-noobs", "noobs", "fast-train"},
+		{"edge", "noobs", "fused-edge"},
+		{"edge-legacy", "legacy-edge", "fused-edge"},
+	} {
+		v, err := measure(p.base, p.fast, prog, instrs, *trials, *minTime)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchprofile: %s: %v\n", p.name, err)
+			os.Exit(1)
+		}
+		rep.Pairs[p.name] = v
+		fmt.Printf("%-12s %-12s %7.1f Minstr/s   %-12s %7.1f Minstr/s   speedup %.2fx\n",
+			p.name, p.base, v.Base.MinstrPerSec, p.fast, v.Fast.MinstrPerSec, v.Speedup)
+	}
+	rep.WallClockSeconds = time.Since(start).Seconds()
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchprofile:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchprofile:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (wall clock %.1fs)\n", *out, rep.WallClockSeconds)
+}

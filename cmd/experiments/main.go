@@ -41,6 +41,7 @@ func main() {
 		nocache   = flag.Bool("nocache", false, "disable the compile/layout-profile cache")
 		docheck   = flag.Bool("check", false, "run the semantic checker after every pipeline stage")
 		nocheck   = flag.Bool("nocheck", false, "disable the semantic checker (default: off outside tests)")
+		profstats = flag.Bool("profstats", false, "report per-benchmark training-run statistics (fast-path modes, batch flushes, automaton sizes)")
 	)
 	flag.Parse()
 
@@ -132,6 +133,54 @@ func main() {
 	}
 	if show("summary") {
 		fmt.Println(stats.Summary(results))
+	}
+	if *profstats {
+		printProfStats(results)
+	}
+}
+
+// printProfStats reports how each benchmark's training run executed:
+// which fast paths were active (counter-fused edge/call reconstruction,
+// batched path-profiler delivery), the batch flush statistics, and per
+// procedure the path automaton's node count and successor-table mode.
+func printProfStats(results []*pipeline.Result) {
+	fmt.Println("# training-run profiling statistics")
+	for _, r := range results {
+		ps := r.ProfStats
+		if ps == nil {
+			fmt.Printf("\n%s: no training statistics (cached result)\n", r.Name)
+			continue
+		}
+		mode := "legacy per-event observers"
+		if ps.Fused {
+			mode = "counter-fused edge/call reconstruction"
+		}
+		fmt.Printf("\n%s: %s\n", r.Name, mode)
+		if ps.Batched {
+			rec := float64(0)
+			if ps.Batches > 0 {
+				rec = float64(ps.Records) / float64(ps.Batches)
+			}
+			fmt.Printf("  path batches: %d flushes, %d records (%.1f records/flush)\n",
+				ps.Batches, ps.Records, rec)
+		} else {
+			fmt.Printf("  path batches: none (per-event delivery)\n")
+		}
+		var nodes int
+		for _, a := range ps.Automaton {
+			nodes += a.Nodes
+		}
+		fmt.Printf("  path automaton: %d nodes over %d procs\n", nodes, len(ps.Automaton))
+		for _, a := range ps.Automaton {
+			if a.Nodes == 0 {
+				continue
+			}
+			m := "dense"
+			if !a.Dense {
+				m = "map"
+			}
+			fmt.Printf("    proc %-3d %6d nodes  succ-table %s\n", a.Proc, a.Nodes, m)
+		}
 	}
 }
 

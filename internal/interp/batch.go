@@ -1,0 +1,56 @@
+package interp
+
+import "pathsched/internal/ir"
+
+// batchCap is the batch buffer size: 1024 records = 8KB, small enough
+// to stay cache-resident, large enough that the per-record flush
+// amortizes to noise. Both engines use the same capacity and the same
+// flush points so their batch streams are identical call for call.
+const batchCap = 1024
+
+// batcher accumulates edge records for a BatchObserver. The decoded
+// engine appends to buf inline in its transfer tail (see exec.go) and
+// calls flush at activation boundaries; the reference engine reuses
+// the same struct as a per-event Observer adapter (the methods below),
+// which produces the exact same sequence of BeginProc/EdgeBatch/
+// EndProc calls for the same event stream.
+type batcher struct {
+	bo   BatchObserver
+	proc ir.ProcID // proc of the buffered records (set on every append)
+	n    int
+	buf  [batchCap]EdgeRec
+}
+
+// flush delivers pending records, if any. Called before BeginProc and
+// EndProc so batches never span activations.
+func (b *batcher) flush() {
+	if b.n > 0 {
+		b.bo.EdgeBatch(b.proc, b.buf[:b.n])
+		b.n = 0
+	}
+}
+
+// Observer adaptation for the reference engine: Block events are
+// dropped (they are implied — see the BatchObserver contract), Edge
+// events append, Enter/Exit flush and forward.
+
+func (b *batcher) EnterProc(p ir.ProcID, entry ir.BlockID) {
+	b.flush()
+	b.bo.BeginProc(p, entry)
+}
+
+func (b *batcher) ExitProc(p ir.ProcID) {
+	b.flush()
+	b.bo.EndProc(p)
+}
+
+func (b *batcher) Edge(p ir.ProcID, from, to ir.BlockID) {
+	b.proc = p
+	b.buf[b.n] = EdgeRec{From: from, To: to}
+	if b.n++; b.n == batchCap {
+		b.bo.EdgeBatch(p, b.buf[:batchCap])
+		b.n = 0
+	}
+}
+
+func (b *batcher) Block(p ir.ProcID, blk ir.BlockID) {}

@@ -1,0 +1,223 @@
+package interp
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"pathsched/internal/ir"
+)
+
+// This file gates the batched-observer seam (Config.Batch) and the
+// counted-run fast path (RunCounted) against the per-event baseline:
+// both engines must deliver byte-identical batch streams — including
+// flush boundaries — and a batch stream flattened back to per-event
+// form must equal the legacy Observer stream of the same run.
+
+// batchLog records BatchObserver callbacks. EdgeBatch copies the
+// delivered records: the engine reuses its ring buffer across flushes,
+// so retaining the slice would alias later batches.
+type batchLog struct {
+	events []batchEvent
+}
+
+type batchEvent struct {
+	kind  byte // 'B' BeginProc, 'E' EndProc, 'F' EdgeBatch
+	proc  ir.ProcID
+	entry ir.BlockID
+	recs  []EdgeRec
+}
+
+func (l *batchLog) BeginProc(p ir.ProcID, entry ir.BlockID) {
+	l.events = append(l.events, batchEvent{kind: 'B', proc: p, entry: entry})
+}
+
+func (l *batchLog) EndProc(p ir.ProcID) {
+	l.events = append(l.events, batchEvent{kind: 'E', proc: p})
+}
+
+func (l *batchLog) EdgeBatch(p ir.ProcID, recs []EdgeRec) {
+	l.events = append(l.events, batchEvent{
+		kind: 'F', proc: p, recs: append([]EdgeRec(nil), recs...)})
+}
+
+// flatten expands the batch stream into the per-event stream it stands
+// for: BeginProc ≡ EnterProc + Block(entry), each record ≡ Edge +
+// Block(To), EndProc ≡ ExitProc.
+func (l *batchLog) flatten() eventLog {
+	var out eventLog
+	for _, ev := range l.events {
+		switch ev.kind {
+		case 'B':
+			out.enters = append(out.enters, ev.entry)
+			out.blocks = append(out.blocks, ev.entry)
+		case 'E':
+			out.exits = append(out.exits, ev.proc)
+		case 'F':
+			for _, r := range ev.recs {
+				out.edges = append(out.edges, [2]ir.BlockID{r.From, r.To})
+				out.blocks = append(out.blocks, r.To)
+			}
+		}
+	}
+	return out
+}
+
+// diffBatch runs prog under both engines with a batch observer and
+// fails on any divergence: error outcome, Result, the batch streams
+// themselves (flush boundaries included), and the flattened stream
+// against a legacy per-event observer run.
+func diffBatch(t *testing.T, name string, prog *ir.Program) {
+	t.Helper()
+	var refB, decB batchLog
+	refRes, refErr := ReferenceRun(prog, Config{Batch: &refB})
+	decRes, decErr := Run(prog, Config{Batch: &decB})
+	if (refErr == nil) != (decErr == nil) {
+		t.Fatalf("%s: reference err = %v, decoded err = %v", name, refErr, decErr)
+	}
+	if refErr != nil && refErr.Error() != decErr.Error() {
+		t.Fatalf("%s: reference err %q, decoded err %q", name, refErr, decErr)
+	}
+	if !reflect.DeepEqual(refB.events, decB.events) {
+		t.Fatalf("%s: batch streams diverge\nreference: %+v\ndecoded:   %+v",
+			name, refB.events, decB.events)
+	}
+	if refErr == nil && !reflect.DeepEqual(refRes, decRes) {
+		t.Fatalf("%s: results diverge\nreference: %+v\ndecoded:   %+v", name, refRes, decRes)
+	}
+
+	var legacy eventLog
+	if _, err := Run(prog, Config{Observer: &legacy}); (err == nil) != (decErr == nil) {
+		t.Fatalf("%s: legacy observer run err = %v, batch run err = %v", name, err, decErr)
+	}
+	if got := decB.flatten(); !reflect.DeepEqual(got, legacy) {
+		t.Fatalf("%s: flattened batch stream != legacy event stream\nbatch:  %+v\nlegacy: %+v",
+			name, got, legacy)
+	}
+}
+
+func TestBatchMatchesReferenceHandCases(t *testing.T) {
+	cases := []struct {
+		name string
+		prog *ir.Program
+	}{
+		{"sumLoop", sumLoop(500)},
+		{"sumLoopLong", sumLoop(3000)}, // > batchCap edges: mid-run flushes
+		{"mergedEarlyExit", mergedProg(1)},
+		{"mergedCompletion", mergedProg(0)},
+		{"specLoad", specLoadProg()},
+		{"switchFallthroughTaken", switchFallthroughProg(0)},
+		{"switchFallthroughFT", switchFallthroughProg(1)},
+		{"switchFallthroughDefault", switchFallthroughProg(9)},
+		{"callFallthrough", callFallthroughProg()},
+		{"narrowTwin", wideTwin(1)},
+		{"wideTwin", wideTwin(297)}, // reference fallback path
+	}
+	for _, tc := range cases {
+		diffBatch(t, tc.name, tc.prog)
+	}
+}
+
+func TestBatchMatchesReferenceErrors(t *testing.T) {
+	// Batches must agree (and be fully flushed up to the fault) even on
+	// runs that error.
+	bd := ir.NewBuilder("badload", 8)
+	pb := bd.Proc("main")
+	b := pb.NewBlock()
+	b.Add(ir.Load(2, 1, -5))
+	b.Ret(2)
+	diffBatch(t, "unmappedLoad", bd.Finish())
+}
+
+func TestBatchRandomPrograms(t *testing.T) {
+	n := uint64(150)
+	if testing.Short() {
+		n = 40
+	}
+	for seed := uint64(1); seed <= n; seed++ {
+		prog := randomProgram(seed)
+		if err := ir.Verify(prog); err != nil {
+			t.Fatalf("seed %d: generated program fails verify: %v", seed, err)
+		}
+		diffBatch(t, prog.Name, prog)
+	}
+}
+
+func TestObserverAndBatchExclusive(t *testing.T) {
+	prog := sumLoop(5)
+	cfg := Config{Observer: &eventLog{}, Batch: &batchLog{}}
+	if _, err := Run(prog, cfg); !errors.Is(err, errObserverAndBatch) {
+		t.Fatalf("Run with Observer and Batch: err = %v, want %v", err, errObserverAndBatch)
+	}
+	if _, err := ReferenceRun(prog, cfg); !errors.Is(err, errObserverAndBatch) {
+		t.Fatalf("ReferenceRun with Observer and Batch: err = %v, want %v", err, errObserverAndBatch)
+	}
+}
+
+// TestObserverKeepsDecodedEngine is the fallback regression gate:
+// attaching an observer — batched or legacy — must never route a
+// ≤256-register program to the reference engine. The engine's fallback
+// flag is its only routing condition, and RunCounted (which refuses to
+// run on a fallback engine) must succeed with a batch observer
+// attached.
+func TestObserverKeepsDecodedEngine(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		prog *ir.Program
+	}{
+		{"sumLoop", sumLoop(100)},
+		{"callFallthrough", callFallthroughProg()},
+		{"narrowTwin", wideTwin(1)},
+	} {
+		e := EngineFor(tc.prog)
+		if e.Fallback() {
+			t.Fatalf("%s: decoded engine reports fallback for a narrow program", tc.name)
+		}
+		if _, _, err := e.RunCounted(Config{Batch: &batchLog{}}); err != nil {
+			t.Fatalf("%s: counted run with batch observer: %v", tc.name, err)
+		}
+	}
+}
+
+func TestRunCountedMatchesRun(t *testing.T) {
+	progs := []struct {
+		name string
+		prog *ir.Program
+	}{
+		{"sumLoop", sumLoop(500)},
+		{"mergedEarlyExit", mergedProg(1)},
+		{"switchFallthroughDefault", switchFallthroughProg(9)},
+		{"callFallthrough", callFallthroughProg()},
+	}
+	for seed := uint64(1); seed <= 25; seed++ {
+		progs = append(progs, struct {
+			name string
+			prog *ir.Program
+		}{randomProgram(seed).Name, randomProgram(seed)})
+	}
+	for _, tc := range progs {
+		want, wantErr := Run(tc.prog, Config{})
+		got, ec, gotErr := EngineFor(tc.prog).RunCounted(Config{})
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("%s: Run err = %v, RunCounted err = %v", tc.name, wantErr, gotErr)
+		}
+		if wantErr != nil {
+			continue
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("%s: results diverge\nplain:   %+v\ncounted: %+v", tc.name, want, got)
+		}
+		if ec == nil {
+			t.Fatalf("%s: completed counted run returned nil EdgeCounts", tc.name)
+		}
+	}
+}
+
+func TestRunCountedRejections(t *testing.T) {
+	if _, _, err := EngineFor(sumLoop(5)).RunCounted(Config{Observer: &eventLog{}}); !errors.Is(err, errCountedObserver) {
+		t.Fatalf("counted run with Observer: err = %v, want %v", err, errCountedObserver)
+	}
+	if _, _, err := EngineFor(wideTwin(297)).RunCounted(Config{}); !errors.Is(err, errCountedFallback) {
+		t.Fatalf("counted run on fallback engine: err = %v, want %v", err, errCountedFallback)
+	}
+}

@@ -293,6 +293,22 @@ type dproc struct {
 	calls  []dcall   // call-site descriptors
 	args   []uint8   // flattened call argument registers
 
+	// Exit classification for counter-fused edge profiling (see
+	// counts.go): every code slot whose execution can produce a CFG
+	// edge is resolved at decode time to its destination block set.
+	// exitTarget[i] is the single destination block index, or
+	// exitNone when slot i either never transfers (straight-line ops,
+	// dCallFT, dRet) or has several possible destinations — in which
+	// case multiIdx[i] is the slot's row in multiTargets (the distinct
+	// destinations, decode order) and counted runs tally a live
+	// per-destination counter. Classified from the pristine decoded
+	// opcodes, before superinstruction rewriting obscures them; the
+	// rewriting passes never move an exit to a different slot, so the
+	// classification stays valid for the rewritten code.
+	exitTarget   []int32
+	multiIdx     []int32
+	multiTargets [][]int32
+
 	// wide is set when any register operand falls outside [0, 255] —
 	// unrepresentable in dinstr's uint8 fields — and routes the whole
 	// program to the reference engine (Engine.fallback).
@@ -413,6 +429,8 @@ func decodeProc(d *dproc, p *ir.Proc) {
 	d.blocks = make([]dblock, len(p.Blocks))
 	d.code = make([]dinstr, 0, total+len(p.Blocks))
 	d.exits = make([]dexit, 0, total+len(p.Blocks))
+	d.exitTarget = make([]int32, 0, total+len(p.Blocks))
+	d.multiIdx = make([]int32, 0, total+len(p.Blocks))
 	d.ranges = make([]int64, len(p.Blocks))
 	for j, b := range p.Blocks {
 		db := &d.blocks[j]
@@ -448,6 +466,7 @@ func decodeProc(d *dproc, p *ir.Proc) {
 		}
 		db.hi = int32(len(d.code))
 		d.ranges[j] = int64(db.lo) | int64(db.hi)<<32
+		d.classifyExits(db)
 		// Fuse compare+branch pairs within the block (never across a
 		// block boundary: db.hi-1 is the last fusable branch slot).
 		for k := int(db.lo); k+1 < int(db.hi); k++ {
@@ -592,6 +611,67 @@ func decodeProc(d *dproc, p *ir.Proc) {
 		// executes when control runs past the last real instruction.
 		d.code = append(d.code, dinstr{op: dFellOff, imm: int64(b.ID)})
 		d.exits = append(d.exits, dexit{})
+		d.exitTarget = append(d.exitTarget, exitNone)
+		d.multiIdx = append(d.multiIdx, -1)
+	}
+}
+
+// exitNone marks a code slot that never produces a CFG edge (or whose
+// destinations live in multiTargets instead — multiIdx distinguishes).
+const exitNone int32 = -1
+
+// classifyExits appends the exit classification (see the dproc fields)
+// for block db's slots. Must run on the pristine decoded opcodes,
+// before the superinstruction rewriting passes.
+func (d *dproc) classifyExits(db *dblock) {
+	for i := db.lo; i < db.hi; i++ {
+		ins := &d.code[i]
+		tgt := exitNone
+		var multi []int32
+		switch ins.op {
+		case dJmp, dBrTakenFT, dBrElseFT:
+			tgt = int32(ins.imm)
+		case dBr:
+			t0, t1 := int32(uint32(ins.imm)), int32(uint32(ins.imm>>32))
+			if t0 == t1 {
+				tgt = t0
+			} else {
+				multi = []int32{t0, t1}
+			}
+		case dSwitch:
+			// Distinct real destinations in table order (the default
+			// entry is the table's last slot; NoBlock slots fall
+			// through in-block and produce no edge).
+			for _, t := range d.tables[ins.imm] {
+				if t == int32(ir.NoBlock) {
+					continue
+				}
+				dup := false
+				for _, s := range multi {
+					if s == t {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					multi = append(multi, t)
+				}
+			}
+			if len(multi) == 1 {
+				tgt, multi = multi[0], nil
+			}
+		case dCall:
+			// The transfer to the continuation block fires when the
+			// call returns; dCallFT falls through in-block (no edge).
+			tgt = d.calls[ins.imm].cont
+		}
+		d.exitTarget = append(d.exitTarget, tgt)
+		if multi != nil {
+			d.multiIdx = append(d.multiIdx, int32(len(d.multiTargets)))
+			d.multiTargets = append(d.multiTargets, multi)
+		} else {
+			d.multiIdx = append(d.multiIdx, -1)
+		}
 	}
 }
 

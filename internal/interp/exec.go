@@ -34,10 +34,40 @@ import (
 // byte-identical to ReferenceRun on verifier-clean programs; the
 // differential tests in decode_test.go enforce this.
 func (e *Engine) Run(cfg Config) (*Result, error) {
+	res, _, err := e.runCore(cfg, false)
+	return res, err
+}
+
+// RunCounted executes like Run but also returns the engine's dense
+// per-exit visit counters as an EdgeCounts, from which exact edge,
+// block-entry and call-graph profiles are reconstructed post-hoc (see
+// counts.go) — a pure edge-profiled run therefore executes with no
+// per-edge observer work at all. cfg.Batch may still be set (the
+// training pipeline runs the path profiler batched and the edge
+// profiler counted in one pass); cfg.Observer may not, as counted
+// runs exist to avoid exactly that per-event cost. Errors if the
+// program needs the reference-engine fallback, which keeps no
+// counters — callers gate on Engine.Fallback().
+func (e *Engine) RunCounted(cfg Config) (*Result, *EdgeCounts, error) {
+	if e.fallback {
+		return nil, nil, errCountedFallback
+	}
+	if cfg.Observer != nil {
+		return nil, nil, errCountedObserver
+	}
+	return e.runCore(cfg, true)
+}
+
+func (e *Engine) runCore(cfg Config, counted bool) (*Result, *EdgeCounts, error) {
+	if cfg.Observer != nil && cfg.Batch != nil {
+		return nil, nil, errObserverAndBatch
+	}
 	if e.fallback {
 		// Some procedure's register file exceeds the decoded frame
-		// (256 registers); the reference engine handles any width.
-		return ReferenceRun(e.prog, cfg)
+		// (256 registers); the reference engine handles any width
+		// (and adapts cfg.Batch itself).
+		res, err := ReferenceRun(e.prog, cfg)
+		return res, nil, err
 	}
 	if cfg.MaxSteps == 0 {
 		cfg.MaxSteps = defaultMaxSteps
@@ -47,7 +77,7 @@ func (e *Engine) Run(cfg Config) (*Result, error) {
 	}
 	mem, err := initMem(e.prog)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	m := &dmachine{
 		eng:      e,
@@ -59,18 +89,41 @@ func (e *Engine) Run(cfg Config) (*Result, error) {
 		obs:      cfg.Observer,
 		fetch:    cfg.Fetch,
 	}
+	if cfg.Batch != nil {
+		m.bat = &batcher{bo: cfg.Batch}
+	}
 	for i := range e.procs {
 		if n := len(e.procs[i].code); n > 0 {
 			m.counts[i] = make([]int64, n)
 		}
 	}
+	if counted {
+		// Live rows for the (rare) exit slots with several possible
+		// destinations; everything else reconstructs from counts.
+		m.mcounts = make([][][]int64, len(e.procs))
+		for i := range e.procs {
+			mt := e.procs[i].multiTargets
+			if len(mt) == 0 {
+				continue
+			}
+			rows := make([][]int64, len(mt))
+			for k := range mt {
+				rows[k] = make([]int64, len(mt[k]))
+			}
+			m.mcounts[i] = rows
+		}
+	}
 	ret, err := m.call(int32(e.prog.Main), nil, 0)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	m.flushCounts()
 	m.res.Ret = ret
-	return m.res, nil
+	var ec *EdgeCounts
+	if counted {
+		ec = newEdgeCounts(e, m.counts, m.mcounts)
+	}
+	return m.res, ec, nil
 }
 
 type dmachine struct {
@@ -82,6 +135,8 @@ type dmachine struct {
 	maxSteps int64
 	maxDepth int
 	obs      Observer
+	bat      *batcher    // batch event delivery (Config.Batch), or nil
+	mcounts  [][][]int64 // counted runs: per proc, per multi-slot row
 	fetch    FetchSink
 
 	// framePool recycles register files across calls, as in the
@@ -144,7 +199,11 @@ func (m *dmachine) call(id int32, args []int64, depth int) (int64, error) {
 	for i, v := range args {
 		regs[int(ir.RegArg0)+i] = v
 	}
-	ret, err := m.run(p, m.counts[id], regs, depth)
+	var mc [][]int64
+	if m.mcounts != nil {
+		mc = m.mcounts[id]
+	}
+	ret, err := m.run(p, m.counts[id], mc, regs, depth)
 	if err != nil {
 		return 0, err
 	}
@@ -167,8 +226,9 @@ func (m *dmachine) call(id int32, args []int64, depth int) (int64, error) {
 // the budget), keeping the per-block limit check a pure register
 // compare. Error paths never flush anything — an error abandons the
 // Result.
-func (m *dmachine) run(p *dproc, counts []int64, regs *[256]int64, depth int) (int64, error) {
+func (m *dmachine) run(p *dproc, counts []int64, mc [][]int64, regs *[256]int64, depth int) (int64, error) {
 	obs := m.obs
+	bat := m.bat
 	fetch := m.fetch
 	ranges := p.ranges
 	code := p.code
@@ -181,6 +241,9 @@ func (m *dmachine) run(p *dproc, counts []int64, regs *[256]int64, depth int) (i
 	cur := p.entry
 	if obs != nil {
 		obs.EnterProc(p.id, ir.BlockID(p.entry))
+	} else if bat != nil {
+		bat.flush() // deliver the caller's pending records first
+		bat.bo.BeginProc(p.id, ir.BlockID(p.entry))
 	}
 	// uint32 compare folds the cur < 0 check into the bounds test.
 	if uint32(cur) >= uint32(len(ranges)) {
@@ -743,7 +806,11 @@ func (m *dmachine) run(p *dproc, counts []int64, regs *[256]int64, depth int) (i
 			// The callee shares the global step budget: publish our
 			// local count, and reload whatever it consumed.
 			m.steps = steps
-			rv, cerr := m.run(cp, m.counts[c.callee], cregs, depth+1)
+			var cmc [][]int64
+			if m.mcounts != nil {
+				cmc = m.mcounts[c.callee]
+			}
+			rv, cerr := m.run(cp, m.counts[c.callee], cmc, cregs, depth+1)
 			if cerr != nil {
 				return 0, cerr
 			}
@@ -770,6 +837,9 @@ func (m *dmachine) run(p *dproc, counts []int64, regs *[256]int64, depth int) (i
 			}
 			if obs != nil {
 				obs.ExitProc(p.id)
+			} else if bat != nil {
+				bat.flush()
+				bat.bo.EndProc(p.id)
 			}
 			m.steps = steps
 			return regs[ins.src1], nil
@@ -793,6 +863,23 @@ func (m *dmachine) run(p *dproc, counts []int64, regs *[256]int64, depth int) (i
 		// by flushCounts. Only the fetch model is stateful and must be
 		// consulted in visit order.
 		counts[pc-1]++
+		if mc != nil {
+			// Counted run: an exit slot with several possible
+			// destinations tallies which one was taken (everything
+			// else reconstructs from counts alone). Chained jumps and
+			// dRet below never reach here, and are single-destination
+			// anyway.
+			if mi := p.multiIdx[pc-1]; mi >= 0 {
+				ts := p.multiTargets[mi]
+				row := mc[mi]
+				for k := 0; k < len(ts); k++ {
+					if ts[k] == next {
+						row[k]++
+						break
+					}
+				}
+			}
+		}
 		n := int64(pc - lo)
 		steps += n
 		if fetch != nil {
@@ -812,6 +899,16 @@ func (m *dmachine) run(p *dproc, counts []int64, regs *[256]int64, depth int) (i
 		if obs != nil {
 			obs.Edge(p.id, p.blocks[cur].id, p.blocks[next].id)
 			obs.Block(p.id, p.blocks[next].id)
+		} else if bat != nil {
+			// Batched delivery: one append instead of two interface
+			// calls; mirrors batcher.Edge exactly so both engines
+			// produce identical batch streams.
+			bat.proc = p.id
+			bat.buf[bat.n] = EdgeRec{From: p.blocks[cur].id, To: p.blocks[next].id}
+			if bat.n++; bat.n == batchCap {
+				bat.bo.EdgeBatch(p.id, bat.buf[:batchCap])
+				bat.n = 0
+			}
 		}
 		r = ranges[next]
 		lo = int32(r)

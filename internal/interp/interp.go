@@ -53,6 +53,41 @@ type Observer interface {
 	Block(p ir.ProcID, b ir.BlockID)
 }
 
+// EdgeRec is one executed intra-procedure CFG edge, as delivered in
+// bulk to a BatchObserver.
+type EdgeRec struct {
+	From, To ir.BlockID
+}
+
+// BatchObserver is the bulk alternative to Observer: instead of one
+// interface dispatch per executed edge, the engine appends edge
+// records to a fixed buffer and delivers them in chunks. The event
+// stream is a lossless re-encoding of the per-event one —
+//
+//	BeginProc(p, entry) ≡ EnterProc(p, entry); Block(p, entry)
+//	each EdgeRec{f, t}  ≡ Edge(p, f, t); Block(p, t)
+//	EndProc(p)          ≡ ExitProc(p)
+//
+// — so an observer that can fold the implied Block events (every
+// profiler here can: a Block event always follows its Edge) loses no
+// information. Batches never span activations: the engine flushes
+// pending records before every BeginProc and EndProc, so all records
+// of one EdgeBatch belong to the activation of the closest preceding
+// BeginProc, in execution order. Both engines (decoded and reference
+// fallback) produce identical batch streams for the same program; the
+// differential tests in batch_test.go pin this.
+type BatchObserver interface {
+	// BeginProc fires when an activation begins; entry is its entry
+	// block, already "entered" (no separate record is delivered for it).
+	BeginProc(p ir.ProcID, entry ir.BlockID)
+	// EndProc fires when an activation returns.
+	EndProc(p ir.ProcID)
+	// EdgeBatch delivers executed edges of the current activation of p
+	// in execution order. recs is reused across calls; implementations
+	// must not retain it.
+	EdgeBatch(p ir.ProcID, recs []EdgeRec)
+}
+
 // FetchSink models the instruction-fetch side of the memory system.
 // FetchRange is called with a half-open byte range of fetched code and
 // returns the stall cycles it induced.
@@ -73,6 +108,9 @@ type Config struct {
 	MaxDepth int
 	// Observer, when non-nil, receives control-flow events.
 	Observer Observer
+	// Batch, when non-nil, receives control-flow events in bulk (see
+	// BatchObserver). Setting both Observer and Batch is an error.
+	Batch BatchObserver
 	// Fetch, when non-nil, receives instruction-fetch address ranges
 	// and contributes stall cycles (the I-cache model).
 	Fetch FetchSink

@@ -18,6 +18,17 @@ import (
 // and for the cmd/benchinterp speedup harness; production callers
 // should use Run.
 func ReferenceRun(prog *ir.Program, cfg Config) (*Result, error) {
+	if cfg.Batch != nil {
+		// The reference engine has no native batch path: adapt the
+		// per-event stream through a batcher, which uses the same
+		// buffer capacity and flush points as the decoded engine so
+		// the two produce identical batch streams.
+		if cfg.Observer != nil {
+			return nil, errObserverAndBatch
+		}
+		cfg.Observer = &batcher{bo: cfg.Batch}
+		cfg.Batch = nil
+	}
 	if cfg.MaxSteps == 0 {
 		cfg.MaxSteps = defaultMaxSteps
 	}

@@ -168,6 +168,12 @@ type Result struct {
 	OrigCodeBytes int64
 
 	ByScheme map[Scheme]*Measurement
+
+	// ProfStats describes how the training run executed (fast-path
+	// modes, automaton sizes, batch statistics); surfaced by
+	// cmd/experiments -profstats. Excluded from JSON output, which is
+	// pinned to measurement data.
+	ProfStats *profile.TrainStats `json:"-"`
 }
 
 // Runner caches per-benchmark training state so several schemes reuse
@@ -231,16 +237,19 @@ func (r *Runner) RunBenchmarkContext(ctx context.Context, b *bench.Benchmark, sc
 		return nil, fmt.Errorf("pipeline: %s: train/test builds diverge: %w", b.Name, err)
 	}
 
-	// One training run feeds all profile consumers.
-	ep := profile.NewEdgeProfiler(trainProg)
-	pp := profile.NewPathProfiler(trainProg, profile.PathConfig{
+	// One training run feeds all profile consumers. profile.Train
+	// picks the fast path automatically: batched path profiling plus
+	// counter-fused edge reconstruction on decodable programs,
+	// per-event observers on wide-register fallbacks — the profiles
+	// are identical either way.
+	tp, err := profile.Train(trainProg, profile.PathConfig{
 		Depth:           r.opts.PathDepth,
 		CrossActivation: r.opts.PathCrossActivation,
 	})
-	if _, err := interp.Run(trainProg, interp.Config{Observer: profile.Multi{ep, pp}}); err != nil {
+	if err != nil {
 		return nil, fmt.Errorf("pipeline: %s: training run: %w", b.Name, err)
 	}
-	eprof, pprof := ep.Profile(), pp.Profile()
+	eprof, pprof := tp.Edge, tp.Path
 	var bases benchBases
 	if r.check {
 		vs := check.EdgeFlow(trainProg, eprof)
@@ -297,6 +306,7 @@ func (r *Runner) RunBenchmarkContext(ctx context.Context, b *bench.Benchmark, sc
 		Category:      b.Category,
 		OrigCodeBytes: testProg.CodeBytes(),
 		ByScheme:      map[Scheme]*Measurement{},
+		ProfStats:     &tp.Stats,
 	}
 	for i, s := range schemes {
 		res.ByScheme[s] = ms[i]
@@ -517,18 +527,19 @@ func (r *Runner) buildScheme(s Scheme, trainProg, testProg *ir.Program, eprof *p
 // layoutWeights runs the transformed training build once and returns
 // the frozen weights layout.Assign consumes.
 func (r *Runner) layoutWeights(trainBin *ir.Program) (*layoutProfile, error) {
-	lep := profile.NewEdgeProfiler(trainBin)
-	cg := profile.NewCallGraphProfiler()
-	if _, err := interp.Run(trainBin, interp.Config{Observer: profile.Multi{lep, cg}}); err != nil {
+	// Pure point profiling: on decodable programs this run carries no
+	// observer at all — the edge and call-graph weights reconstruct
+	// from the engine's visit counters (profile.PointProfiles).
+	prof, calls, err := profile.PointProfiles(trainBin)
+	if err != nil {
 		return nil, fmt.Errorf("layout training run: %w", err)
 	}
-	prof := lep.Profile()
 	if r.check {
 		if err := check.Err("layout", check.EdgeFlow(trainBin, prof)); err != nil {
 			return nil, err
 		}
 	}
-	return &layoutProfile{calls: cg.Counts(), prof: prof}, nil
+	return &layoutProfile{calls: calls, prof: prof}, nil
 }
 
 // runScheme compiles and measures one scheme. trainProg and testProg

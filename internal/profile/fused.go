@@ -1,0 +1,119 @@
+package profile
+
+import (
+	"pathsched/internal/interp"
+	"pathsched/internal/ir"
+)
+
+// Counter-fused profiling: the decoded engine's per-exit visit
+// counters (interp.RunCounted) carry the complete point profile of a
+// run, so the edge and call-graph profilers can be reconstructed after
+// the fact instead of observing every event. Train and PointProfiles
+// below are the entry points the pipeline uses — they pick the fastest
+// run mode the program supports and fall back to per-event observers
+// only for wide-register programs the decoded engine cannot execute.
+// Reconstruction is exact: the profiles (and their serialized bytes)
+// are identical to what the per-event observers would have gathered,
+// which the differential tests in fused_test.go pin.
+
+// EdgeProfilerFromCounts rebuilds the edge profiler a per-event run
+// would have produced from a counted run's counters. Determinism:
+// blocks and edges are inserted in decode order (block, exit slot,
+// destination), and every EdgeProfile query and its serialization are
+// insertion-order independent.
+func EdgeProfilerFromCounts(prog *ir.Program, ec *interp.EdgeCounts) *EdgeProfiler {
+	ep := NewEdgeProfiler(prog)
+	for pid := range ep.procs {
+		p := ir.ProcID(pid)
+		pe := ep.procs[pid]
+		pe.entries = ec.Entries(p)
+		ec.ForEachBlock(p, func(b ir.BlockID, n int64) { pe.addBlock(b, n) })
+		ec.ForEachEdge(p, func(from, to ir.BlockID, n int64) { pe.addEdge(from, to, n) })
+	}
+	return ep
+}
+
+// CallCountsFromCounts rebuilds the call-graph profile (dynamic
+// caller→callee invocation counts, CallGraphProfiler semantics: one
+// per executed call site, main's root entry excluded).
+func CallCountsFromCounts(ec *interp.EdgeCounts) map[[2]ir.ProcID]int64 {
+	m := map[[2]ir.ProcID]int64{}
+	ec.ForEachCall(func(caller, callee ir.ProcID, n int64) {
+		m[[2]ir.ProcID{caller, callee}] += n
+	})
+	return m
+}
+
+// TrainStats describes how a Train (or PointProfiles) run executed,
+// for cmd/experiments -profstats.
+type TrainStats struct {
+	Fused     bool // edge/call profiles reconstructed from engine counters
+	Batched   bool // path profiler fed through interp.BatchObserver
+	Batches   int64
+	Records   int64
+	Automaton []ProcAutomatonStats
+}
+
+// TrainingProfiles bundles everything one training run yields.
+type TrainingProfiles struct {
+	Edge  *EdgeProfile
+	Path  *PathProfile
+	Calls map[[2]ir.ProcID]int64
+	Stats TrainStats
+}
+
+// Train executes prog once and gathers its edge, path and call-graph
+// profiles, using the fastest mode the program supports: on decodable
+// programs the path profiler observes batched edge records while the
+// edge and call-graph halves are reconstructed from the engine's visit
+// counters (no per-event work at all); wide-register programs fall
+// back to the legacy per-event observers on the reference engine. Both
+// modes produce identical profiles.
+func Train(prog *ir.Program, cfg PathConfig) (*TrainingProfiles, error) {
+	pp := NewPathProfiler(prog, cfg)
+	eng := interp.EngineFor(prog)
+	if eng.Fallback() {
+		ep := NewEdgeProfiler(prog)
+		cg := NewCallGraphProfiler()
+		if _, err := interp.Run(prog, interp.Config{Observer: Multi{ep, pp, cg}}); err != nil {
+			return nil, err
+		}
+		tp := &TrainingProfiles{Edge: ep.Profile(), Path: pp.Profile(), Calls: cg.Counts()}
+		tp.Stats.Automaton = pp.AutomatonStats()
+		return tp, nil
+	}
+	_, ec, err := eng.RunCounted(interp.Config{Batch: pp})
+	if err != nil {
+		return nil, err
+	}
+	tp := &TrainingProfiles{
+		Edge:  EdgeProfilerFromCounts(prog, ec).Profile(),
+		Path:  pp.Profile(),
+		Calls: CallCountsFromCounts(ec),
+	}
+	tp.Stats.Fused, tp.Stats.Batched = true, true
+	tp.Stats.Batches, tp.Stats.Records = pp.BatchStats()
+	tp.Stats.Automaton = pp.AutomatonStats()
+	return tp, nil
+}
+
+// PointProfiles executes prog once and gathers only its edge and
+// call-graph profiles — on decodable programs the run carries no
+// observer at all (pure counter-fused reconstruction), which is what
+// layout-profiling runs want.
+func PointProfiles(prog *ir.Program) (*EdgeProfile, map[[2]ir.ProcID]int64, error) {
+	eng := interp.EngineFor(prog)
+	if eng.Fallback() {
+		lep := NewEdgeProfiler(prog)
+		cg := NewCallGraphProfiler()
+		if _, err := interp.Run(prog, interp.Config{Observer: Multi{lep, cg}}); err != nil {
+			return nil, nil, err
+		}
+		return lep.Profile(), cg.Counts(), nil
+	}
+	_, ec, err := eng.RunCounted(interp.Config{})
+	if err != nil {
+		return nil, nil, err
+	}
+	return EdgeProfilerFromCounts(prog, ec).Profile(), CallCountsFromCounts(ec), nil
+}

@@ -2,7 +2,9 @@ package profile
 
 import (
 	"sort"
+	"sync"
 
+	"pathsched/internal/interp"
 	"pathsched/internal/ir"
 )
 
@@ -44,25 +46,45 @@ func (c PathConfig) withDefaults() PathConfig { return c.Normalized() }
 // pathNode is one lazily-created state of the path automaton: the
 // window of recently-executed blocks it represents, the number of
 // branch-terminated blocks inside that window, its execution count,
-// and successor pointers keyed by the next executed block.
+// and successor pointers keyed by the next executed block — a dense
+// slice indexed by BlockID in dense mode (allocated lazily on the
+// first successor insert), a map in the fallback mode.
 type pathNode struct {
 	seq      []ir.BlockID
 	branches int
 	count    int64
+	dense    []*pathNode
 	succ     map[ir.BlockID]*pathNode
 }
+
+// denseLimit is the per-procedure block-count threshold for dense
+// successor slices. Below it, a node's successor table costs at most
+// denseLimit pointers (1KB) and the steady-state step is one array
+// index; above it, nodes fall back to maps so sparse automatons over
+// huge CFGs don't pay quadratic memory.
+const denseLimit = 128
 
 // procPaths holds the automaton for one procedure. Nodes are interned
 // by window contents, so a loop that repeats the same paths reuses the
 // same nodes and total node count stays proportional to the number of
 // *distinct* paths — the paper's O(npaths + nedges) bound. The intern
-// table is consulted only on the first traversal of a transition;
-// afterwards the cached successor pointer makes the step O(1).
+// table is consulted only on the first traversal of a transition —
+// it is keyed by a sequence hash with exact comparison inside the
+// bucket, so interning never materializes a key string — and
+// afterwards the cached successor pointer makes the step O(1): an
+// array index in dense mode, a map probe in the fallback.
 type procPaths struct {
-	condBr []bool // per block: terminator is a conditional branch
-	roots  map[ir.BlockID]*pathNode
-	intern map[string]*pathNode
-	nodes  int // total distinct nodes, for overhead statistics
+	condBr  []bool // per block: terminator is a conditional branch
+	nblocks int
+	dense   bool                     // nblocks <= denseLimit
+	roots   []*pathNode              // dense mode: window starts, by first block
+	rootsM  map[ir.BlockID]*pathNode // fallback mode
+	intern  map[uint64][]*pathNode   // seqHash → bucket
+	// nodesList holds every interned node in creation order; freezing
+	// and serialization sort it by seqKey to preserve the exact
+	// iteration order of the historical string-keyed intern table.
+	nodesList []*pathNode
+	nodes     int // total distinct nodes, for overhead statistics
 }
 
 // PathProfiler is an interp.Observer implementing the efficient
@@ -96,6 +118,11 @@ type PathProfiler struct {
 	backEdges []map[[2]ir.BlockID]bool
 
 	dynEdges int64
+
+	// Batch-delivery statistics (see EdgeBatch), surfaced by
+	// BatchStats for cmd/experiments -profstats.
+	batches   int64
+	batchRecs int64
 }
 
 // NewPathProfiler returns a general-path profiler for prog.
@@ -103,11 +130,19 @@ func NewPathProfiler(prog *ir.Program, cfg PathConfig) *PathProfiler {
 	cfg = cfg.withDefaults()
 	pp := &PathProfiler{cfg: cfg, procs: make([]*procPaths, len(prog.Procs))}
 	for i, p := range prog.Procs {
-		pp.procs[i] = &procPaths{
-			condBr: condBrMap(p),
-			roots:  map[ir.BlockID]*pathNode{},
-			intern: map[string]*pathNode{},
+		condBr := condBrMap(p)
+		st := &procPaths{
+			condBr:  condBr,
+			nblocks: len(condBr),
+			intern:  map[uint64][]*pathNode{},
 		}
+		if st.nblocks <= denseLimit {
+			st.dense = true
+			st.roots = make([]*pathNode, st.nblocks)
+		} else {
+			st.rootsM = map[ir.BlockID]*pathNode{}
+		}
+		pp.procs[i] = st
 	}
 	if cfg.CrossActivation {
 		pp.procCur = make([]*pathNode, len(prog.Procs))
@@ -160,32 +195,7 @@ func (pp *PathProfiler) Block(p ir.ProcID, b ir.BlockID) {
 		}
 		cur, prev = pp.stack[top], pp.prevStack[top]
 	}
-	st := pp.procs[p]
-	if pp.forward && cur != nil {
-		// Forward paths end at back edges: crossing one starts a new
-		// window at b.
-		if prev != ir.NoBlock && pp.backEdges[p][[2]ir.BlockID{prev, b}] {
-			cur = nil
-		}
-	}
-	var nxt *pathNode
-	if cur == nil {
-		nxt = st.roots[b]
-		if nxt == nil {
-			nxt = st.internNode([]ir.BlockID{b})
-			st.roots[b] = nxt
-		}
-	} else {
-		nxt = cur.succ[b]
-		if nxt == nil {
-			nxt = st.internNode(pp.extend(st, cur, b))
-			if cur.succ == nil {
-				cur.succ = map[ir.BlockID]*pathNode{}
-			}
-			cur.succ[b] = nxt
-		}
-	}
-	nxt.count++
+	nxt := pp.step(p, pp.procs[p], cur, prev, b)
 	if pp.procCur != nil {
 		pp.procCur[p] = nxt
 		pp.procPrev[p] = b
@@ -193,6 +203,141 @@ func (pp *PathProfiler) Block(p ir.ProcID, b ir.BlockID) {
 		top := len(pp.stack) - 1
 		pp.stack[top] = nxt
 		pp.prevStack[top] = b
+	}
+}
+
+// step advances one automaton transition: extend the window ending at
+// cur by block b, counting the resulting path. Shared by the per-event
+// Block path and the batched EdgeBatch path so both observe identical
+// automatons.
+func (pp *PathProfiler) step(p ir.ProcID, st *procPaths, cur *pathNode, prev, b ir.BlockID) *pathNode {
+	if pp.forward && cur != nil {
+		// Forward paths end at back edges: crossing one starts a new
+		// window at b.
+		if prev != ir.NoBlock && pp.backEdges[p][[2]ir.BlockID{prev, b}] {
+			cur = nil
+		}
+	}
+	nxt := st.lookup(cur, b)
+	if nxt == nil {
+		nxt = pp.stepNew(st, cur, b)
+	}
+	nxt.count++
+	return nxt
+}
+
+// lookup follows the cached successor (or root) pointer for block b,
+// returning nil on a first-traversal miss.
+func (st *procPaths) lookup(cur *pathNode, b ir.BlockID) *pathNode {
+	if cur == nil {
+		if st.dense {
+			return st.roots[b]
+		}
+		return st.rootsM[b]
+	}
+	if st.dense {
+		if d := cur.dense; d != nil {
+			return d[b]
+		}
+		return nil
+	}
+	return cur.succ[b]
+}
+
+// stepNew handles the cold first traversal of a transition: intern the
+// extended window and cache the successor (or root) pointer. The
+// caller counts the returned node.
+func (pp *PathProfiler) stepNew(st *procPaths, cur *pathNode, b ir.BlockID) *pathNode {
+	if cur == nil {
+		nxt := st.internNode([]ir.BlockID{b})
+		if st.dense {
+			st.roots[b] = nxt
+		} else {
+			st.rootsM[b] = nxt
+		}
+		return nxt
+	}
+	nxt := st.internNode(pp.extend(st, cur, b))
+	if st.dense {
+		if cur.dense == nil {
+			cur.dense = make([]*pathNode, st.nblocks)
+		}
+		cur.dense[b] = nxt
+	} else {
+		if cur.succ == nil {
+			cur.succ = map[ir.BlockID]*pathNode{}
+		}
+		cur.succ[b] = nxt
+	}
+	return nxt
+}
+
+// BeginProc implements interp.BatchObserver: an activation begins with
+// its entry block already entered (BeginProc ≡ EnterProc + Block).
+func (pp *PathProfiler) BeginProc(p ir.ProcID, entry ir.BlockID) {
+	pp.EnterProc(p, entry)
+	pp.Block(p, entry)
+}
+
+// EndProc implements interp.BatchObserver.
+func (pp *PathProfiler) EndProc(p ir.ProcID) { pp.ExitProc(p) }
+
+// EdgeBatch implements interp.BatchObserver: the hot path of batched
+// training runs. The activation cursor is loaded once per batch
+// instead of once per event, and in dense non-forward mode (the
+// pipeline's configuration) the steady-state step is two pointer loads
+// and an increment per edge. The automaton built is identical to the
+// per-event path's — each record is exactly one Block event whose
+// Edge half carried no extra information.
+func (pp *PathProfiler) EdgeBatch(p ir.ProcID, recs []interp.EdgeRec) {
+	pp.batches++
+	pp.batchRecs += int64(len(recs))
+	pp.dynEdges += int64(len(recs))
+	if len(recs) == 0 {
+		return
+	}
+	var cur *pathNode
+	var prev ir.BlockID
+	if pp.procCur != nil {
+		cur, prev = pp.procCur[p], pp.procPrev[p]
+	} else {
+		top := len(pp.stack) - 1
+		if top < 0 || pp.procStack[top] != p {
+			return // records from an unmatched activation; ignore defensively
+		}
+		cur, prev = pp.stack[top], pp.prevStack[top]
+	}
+	st := pp.procs[p]
+	if st.dense && !pp.forward {
+		for i := range recs {
+			b := recs[i].To
+			var nxt *pathNode
+			if cur == nil {
+				nxt = st.roots[b]
+			} else if d := cur.dense; d != nil {
+				nxt = d[b]
+			}
+			if nxt == nil {
+				nxt = pp.stepNew(st, cur, b)
+			}
+			nxt.count++
+			cur = nxt
+		}
+	} else {
+		for i := range recs {
+			b := recs[i].To
+			cur = pp.step(p, st, cur, prev, b)
+			prev = b
+		}
+	}
+	prev = recs[len(recs)-1].To
+	if pp.procCur != nil {
+		pp.procCur[p] = cur
+		pp.procPrev[p] = prev
+	} else {
+		top := len(pp.stack) - 1
+		pp.stack[top] = cur
+		pp.prevStack[top] = prev
 	}
 }
 
@@ -218,11 +363,16 @@ func (pp *PathProfiler) extend(st *procPaths, cur *pathNode, b ir.BlockID) []ir.
 }
 
 // internNode returns the unique node for the given window, creating it
-// on first sight.
+// on first sight. The table is keyed by a 64-bit FNV-1a hash of the
+// sequence with exact comparison inside the bucket — node creation no
+// longer materializes a key string; seqKey strings are regenerated
+// only when freezing or serializing (see sortedNodes).
 func (st *procPaths) internNode(seq []ir.BlockID) *pathNode {
-	key := seqKey(seq)
-	if nd := st.intern[key]; nd != nil {
-		return nd
+	h := seqHash(seq)
+	for _, nd := range st.intern[h] {
+		if seqEqual(nd.seq, seq) {
+			return nd
+		}
 	}
 	branches := 0
 	for _, b := range seq {
@@ -232,8 +382,51 @@ func (st *procPaths) internNode(seq []ir.BlockID) *pathNode {
 	}
 	st.nodes++
 	nd := &pathNode{seq: seq, branches: branches}
-	st.intern[key] = nd
+	st.intern[h] = append(st.intern[h], nd)
+	st.nodesList = append(st.nodesList, nd)
 	return nd
+}
+
+// seqHash is 64-bit FNV-1a over the block ids.
+func seqHash(seq []ir.BlockID) uint64 {
+	h := uint64(14695981039346656037)
+	for _, b := range seq {
+		h ^= uint64(uint32(b))
+		h *= 1099511628211
+	}
+	return h
+}
+
+func seqEqual(a, b []ir.BlockID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// keyedNode pairs an interned node with its seqKey string for
+// freeze-time sorting.
+type keyedNode struct {
+	key string
+	nd  *pathNode
+}
+
+// sortedNodes returns every interned node with its seqKey, sorted by
+// key — exactly the iteration order the historical string-keyed intern
+// table gave Profile and WriteText, preserved so frozen profiles and
+// serialized bytes are unchanged by the hashed intern table.
+func (st *procPaths) sortedNodes() []keyedNode {
+	out := make([]keyedNode, len(st.nodesList))
+	for i, nd := range st.nodesList {
+		out[i] = keyedNode{seqKey(nd.seq), nd}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+	return out
 }
 
 // Stats reports profiling overhead: distinct path nodes created and
@@ -246,6 +439,31 @@ func (pp *PathProfiler) Stats() (nodes int, dynEdges int64) {
 	return nodes, pp.dynEdges
 }
 
+// ProcAutomatonStats describes one procedure's path automaton for
+// overhead reporting (cmd/experiments -profstats).
+type ProcAutomatonStats struct {
+	Proc  ir.ProcID
+	Nodes int  // distinct path nodes created
+	Dense bool // dense successor slices vs map fallback
+}
+
+// AutomatonStats reports every procedure's automaton size and
+// successor-table mode.
+func (pp *PathProfiler) AutomatonStats() []ProcAutomatonStats {
+	out := make([]ProcAutomatonStats, len(pp.procs))
+	for i, st := range pp.procs {
+		out[i] = ProcAutomatonStats{Proc: ir.ProcID(i), Nodes: st.nodes, Dense: st.dense}
+	}
+	return out
+}
+
+// BatchStats reports how many EdgeBatch deliveries the profiler
+// received and how many edge records they carried in total (zero on
+// per-event runs).
+func (pp *PathProfiler) BatchStats() (batches, records int64) {
+	return pp.batches, pp.batchRecs
+}
+
 // Profile freezes the gathered data into a queryable PathProfile,
 // building the per-procedure suffix index: every recorded window
 // contributes its count to each of its suffixes, so Freq answers exact
@@ -253,39 +471,31 @@ func (pp *PathProfiler) Stats() (nodes int, dynEdges int64) {
 func (pp *PathProfiler) Profile() *PathProfile {
 	out := &PathProfile{cfg: pp.cfg, procs: make([]*procPathIndex, len(pp.procs))}
 	for i, st := range pp.procs {
+		// Presize the suffix index: counted nodes contribute one freq
+		// entry per suffix (suffixes of distinct windows collide, so
+		// this is an upper bound that avoids growth rehashing).
+		var nsuf int
+		for _, nd := range st.nodesList {
+			if nd.count != 0 {
+				nsuf += len(nd.seq)
+			}
+		}
 		idx := &procPathIndex{
 			condBr: st.condBr,
-			freq:   map[string]int64{},
-			succs:  map[string]map[ir.BlockID]int64{},
+			freq:   make(map[string]int64, nsuf),
 		}
-		keys := make([]string, 0, len(st.intern))
-		for k := range st.intern {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys) // determinism for any iteration-order effects
-		for _, k := range keys {
-			n := st.intern[k]
+		// A suffix's key is a substring of the whole window's key (4
+		// fixed bytes per block), so each node's key is built once and
+		// sliced — freezing allocates no per-suffix key strings. Node
+		// order doesn't matter: the index is a pair of maps whose final
+		// contents are order-independent sums.
+		for _, n := range st.nodesList {
 			if n.count == 0 {
 				continue
 			}
-			for s := 0; s < len(n.seq); s++ {
-				suffix := n.seq[s:]
-				idx.freq[seqKey(suffix)] += n.count
-				if len(suffix) >= 2 {
-					// Record "suffix minus last block, extended by the
-					// last block" so most-likely-path-successor queries
-					// can enumerate candidates without consulting the
-					// CFG.
-					head := suffix[:len(suffix)-1]
-					last := suffix[len(suffix)-1]
-					hk := seqKey(head)
-					sm := idx.succs[hk]
-					if sm == nil {
-						sm = map[ir.BlockID]int64{}
-						idx.succs[hk] = sm
-					}
-					sm[last] += n.count
-				}
+			key := seqKey(n.seq)
+			for s := 0; s < len(key); s += 4 {
+				idx.freq[key[s:]] += n.count
 			}
 			idx.windows += n.count
 			idx.distinct++
@@ -295,13 +505,47 @@ func (pp *PathProfiler) Profile() *PathProfile {
 	return out
 }
 
-// procPathIndex is the frozen per-procedure query structure.
+// procPathIndex is the frozen per-procedure query structure. succs is
+// derived lazily from freq on the first successor query (succIndex):
+// training runs freeze profiles they may never ask successor queries
+// of, and the derivation is pure, so deferring it keeps the profiling
+// phase lean without changing any query result.
 type procPathIndex struct {
 	condBr   []bool
 	freq     map[string]int64
+	succOnce sync.Once
 	succs    map[string]map[ir.BlockID]int64
 	windows  int64 // total windows recorded (= dynamic blocks observed)
 	distinct int   // distinct windows
+}
+
+// succIndex builds (once) and returns the successor index: for each
+// sequence head, the frequency of every observed one-block extension.
+// It is fully determined by freq — every indexed sequence of length
+// ≥ 2 extends its own head by its own last block with exactly its own
+// frequency — so the build touches each distinct suffix once. The
+// sync.Once keeps frozen profiles safe for concurrent queries (the
+// parallel pipeline shares them across goroutines).
+func (idx *procPathIndex) succIndex() map[string]map[ir.BlockID]int64 {
+	idx.succOnce.Do(func() {
+		succs := make(map[string]map[ir.BlockID]int64, len(idx.freq))
+		for k, n := range idx.freq {
+			if len(k) < 8 {
+				continue
+			}
+			hk := k[:len(k)-4]
+			last := ir.BlockID(uint32(k[len(k)-4]) | uint32(k[len(k)-3])<<8 |
+				uint32(k[len(k)-2])<<16 | uint32(k[len(k)-1])<<24)
+			sm := succs[hk]
+			if sm == nil {
+				sm = map[ir.BlockID]int64{}
+				succs[hk] = sm
+			}
+			sm[last] = n
+		}
+		idx.succs = succs
+	})
+	return idx.succs
 }
 
 // PathProfile answers exact path-frequency queries (paper §2.2). A
@@ -372,7 +616,7 @@ func (pf *PathProfile) FreqKey(p ir.ProcID, key string) int64 {
 // extensions of the sequence encoded by key.
 func (pf *PathProfile) SuccTotalKey(p ir.ProcID, key string) int64 {
 	var total int64
-	for _, n := range pf.procs[p].succs[key] {
+	for _, n := range pf.procs[p].succIndex()[key] {
 		total += n
 	}
 	return total
@@ -409,7 +653,7 @@ func (pf *PathProfile) EdgeFreq(p ir.ProcID, from, to ir.BlockID) int64 {
 // after seq, the count of seq·s. The caller must pass a sequence
 // already within depth.
 func (pf *PathProfile) SuccFreqs(p ir.ProcID, seq []ir.BlockID) map[ir.BlockID]int64 {
-	return pf.procs[p].succs[seqKey(seq)]
+	return pf.procs[p].succIndex()[seqKey(seq)]
 }
 
 // MostLikelyPathSuccessor implements the paper's Figure 2 primitive:

@@ -120,17 +120,12 @@ func (pp *PathProfiler) WriteText() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "pathprofile depth=%d maxblocks=%d\n", pp.cfg.Depth, pp.cfg.MaxBlocks)
 	for pid, st := range pp.procs {
-		if len(st.intern) == 0 {
+		if len(st.nodesList) == 0 {
 			continue
 		}
 		fmt.Fprintf(&sb, "proc %d\n", pid)
-		keys := make([]string, 0, len(st.intern))
-		for k := range st.intern {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			nd := st.intern[k]
+		for _, kn := range st.sortedNodes() {
+			nd := kn.nd
 			if nd.count == 0 {
 				continue
 			}

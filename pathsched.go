@@ -124,15 +124,16 @@ func ExecuteWithCache(prog *Program) (*RunResult, float64, error) {
 
 // ProfileProgram executes prog once, gathering the edge profile, the
 // general path profile (depth 15, §2.2), and the dynamic call graph in
-// a single training run.
+// a single training run. On decodable programs the run uses the fast
+// profiling paths (batched path observation, counter-fused edge and
+// call-graph reconstruction); the profiles are identical to what
+// per-event observers gather.
 func ProfileProgram(prog *Program) (*Profiles, error) {
-	ep := profile.NewEdgeProfiler(prog)
-	pp := profile.NewPathProfiler(prog, profile.PathConfig{})
-	cg := profile.NewCallGraphProfiler()
-	if _, err := interp.Run(prog, interp.Config{Observer: profile.Multi{ep, pp, cg}}); err != nil {
+	tp, err := profile.Train(prog, profile.PathConfig{})
+	if err != nil {
 		return nil, fmt.Errorf("pathsched: training run: %w", err)
 	}
-	return &Profiles{Edge: ep.Profile(), Path: pp.Profile(), Calls: cg.Counts()}, nil
+	return &Profiles{Edge: tp.Edge, Path: tp.Path, Calls: tp.Calls}, nil
 }
 
 // Compile forms superblocks under the given scheme, compacts them for

@@ -213,6 +213,41 @@ func BenchmarkProfiling(b *testing.B) {
 	})
 }
 
+// BenchmarkBLProfiler measures the Ball–Larus numbered-path scheme the
+// same way BenchmarkProfiling measures the window profiler: per-event
+// observation, the batched training fast path (the direct comparison
+// point for fast-train above), and the freeze that decodes numbered
+// paths back into a PathProfile.
+func BenchmarkBLProfiler(b *testing.B) {
+	bm := bench.ByName("wc")
+	prog := bm.Build(bm.Train)
+	b.Run("path", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			bl := profile.NewBLProfiler(prog, profile.BLConfig{})
+			if _, err := interp.Run(prog, interp.Config{Observer: bl}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("bl-train", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := profile.TrainBL(prog, profile.BLConfig{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("freeze", func(b *testing.B) {
+		tp, err := profile.TrainBL(prog, profile.BLConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tp.BL.Profile()
+		}
+	})
+}
+
 // BenchmarkFormation measures the form pass alone under both methods.
 func BenchmarkFormation(b *testing.B) {
 	bm := bench.ByName("gcc")

@@ -21,6 +21,20 @@
 //	             run (profile.PointProfiles); the fused run carries no
 //	             observer, so this is its total overhead
 //	edge-legacy  legacy per-event edge+callgraph run vs the fused run
+//	train-bl     fast window-profiler training run vs the Ball–Larus
+//	             numbered-path training run at matched depth
+//	             (profile.TrainBL) — the overhead comparison between
+//	             the two path-profiling schemes
+//	train-bl-perl  the same comparison on perl, whose branchy control
+//	             flow grows the window profiler's automaton working
+//	             set while the Ball–Larus side stays one arithmetic
+//	             add per edge — where the numbered scheme's
+//	             depth-independent cost shows
+//	bl-noobs     no-observer measurement run vs the Ball–Larus training
+//	             run (total Ball–Larus training overhead)
+//
+// Each pair names the benchmark it ran on; the legacy pairs stay on wc
+// for comparability with earlier reports.
 //
 // Usage:
 //
@@ -49,6 +63,7 @@ type sideStats struct {
 }
 
 type pairResult struct {
+	Benchmark string    `json:"benchmark"`
 	DynInstrs int64     `json:"dyn_instrs"` // per run, identical on every side
 	Base      sideStats `json:"base"`
 	Fast      sideStats `json:"fast"`
@@ -59,7 +74,6 @@ type pairResult struct {
 }
 
 type report struct {
-	Benchmark        string                 `json:"benchmark"`
 	TrialsPerSide    int                    `json:"trials_per_side"`
 	MinTimePerTrial  string                 `json:"min_time_per_trial"`
 	GoVersion        string                 `json:"go_version"`
@@ -122,6 +136,10 @@ var modes = map[string]mode{
 	}},
 	"fused-edge": {"no-observer counted run + edge/call reconstruction", func(p *pathsched.Program) error {
 		_, _, err := profile.PointProfiles(p)
+		return err
+	}},
+	"bl-train": {"Ball-Larus numbered paths + counter-fused edge/call reconstruction", func(p *pathsched.Program) error {
+		_, err := profile.TrainBL(p, profile.BLConfig{})
 		return err
 	}},
 }
@@ -190,37 +208,52 @@ func main() {
 	flag.Parse()
 
 	start := time.Now()
-	bm := bench.ByName("wc")
-	prog := bm.Build(bm.Train)
-	res, err := interp.Run(prog, interp.Config{})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchprofile:", err)
-		os.Exit(1)
+	progs := map[string]*pathsched.Program{}
+	instrsBy := map[string]int64{}
+	getProg := func(name string) (*pathsched.Program, int64, error) {
+		if p, ok := progs[name]; ok {
+			return p, instrsBy[name], nil
+		}
+		bm := bench.ByName(name)
+		p := bm.Build(bm.Train)
+		res, err := interp.Run(p, interp.Config{})
+		if err != nil {
+			return nil, 0, err
+		}
+		progs[name], instrsBy[name] = p, res.DynInstrs
+		return p, res.DynInstrs, nil
 	}
-	instrs := res.DynInstrs
 
 	rep := &report{
-		Benchmark:       bm.Name,
 		TrialsPerSide:   *trials,
 		MinTimePerTrial: minTime.String(),
 		GoVersion:       runtime.Version(),
 		GOMAXPROCS:      runtime.GOMAXPROCS(0),
 		Pairs:           map[string]*pairResult{},
 	}
-	for _, p := range []struct{ name, base, fast string }{
-		{"train", "legacy-train", "fast-train"},
-		{"train-noobs", "noobs", "fast-train"},
-		{"edge", "noobs", "fused-edge"},
-		{"edge-legacy", "legacy-edge", "fused-edge"},
+	for _, p := range []struct{ name, bench, base, fast string }{
+		{"train", "wc", "legacy-train", "fast-train"},
+		{"train-noobs", "wc", "noobs", "fast-train"},
+		{"edge", "wc", "noobs", "fused-edge"},
+		{"edge-legacy", "wc", "legacy-edge", "fused-edge"},
+		{"train-bl", "wc", "fast-train", "bl-train"},
+		{"train-bl-perl", "perl", "fast-train", "bl-train"},
+		{"bl-noobs", "wc", "noobs", "bl-train"},
 	} {
+		prog, instrs, err := getProg(p.bench)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchprofile: %s: %v\n", p.bench, err)
+			os.Exit(1)
+		}
 		v, err := measure(p.base, p.fast, prog, instrs, *trials, *minTime)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchprofile: %s: %v\n", p.name, err)
 			os.Exit(1)
 		}
+		v.Benchmark = p.bench
 		rep.Pairs[p.name] = v
-		fmt.Printf("%-12s %-12s %7.1f Minstr/s   %-12s %7.1f Minstr/s   speedup %.2fx\n",
-			p.name, p.base, v.Base.MinstrPerSec, p.fast, v.Fast.MinstrPerSec, v.Speedup)
+		fmt.Printf("%-14s %-5s %-12s %7.1f Minstr/s   %-12s %7.1f Minstr/s   speedup %.2fx\n",
+			p.name, p.bench, p.base, v.Base.MinstrPerSec, p.fast, v.Fast.MinstrPerSec, v.Speedup)
 	}
 	rep.WallClockSeconds = time.Since(start).Seconds()
 

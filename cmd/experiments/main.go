@@ -33,6 +33,8 @@ func main() {
 		benches   = flag.String("bench", "", "comma-separated benchmark names (default: whole suite)")
 		realistic = flag.Bool("realistic", false, "use multi-cycle load/mul latencies")
 		depth     = flag.Int("depth", 15, "general path profile depth in branches")
+		profiler  = flag.String("profiler", "window", "path profiling scheme: window (sliding-window) or bl (Ball-Larus numbered paths)")
+		bliters   = flag.Int("bliters", 0, "Ball-Larus k-iteration extension depth (0 = adaptive to -depth, min 2; only with -profiler bl)")
 		ways      = flag.Int("ways", 1, "I-cache associativity (paper: 1, direct-mapped)")
 		ablate    = flag.Bool("ablate", false, "run design-choice ablations instead of the figures")
 		jsonOut   = flag.Bool("json", false, "emit raw measurements as JSON instead of text reports")
@@ -68,6 +70,8 @@ func main() {
 	runner := pipeline.NewRunner(pipeline.Options{
 		Machine:             mc,
 		Cache:               &cache,
+		Profiler:            pipeline.ProfilerScheme(*profiler),
+		BLIterations:        *bliters,
 		PathDepth:           *depth,
 		Parallelism:         *jobs,
 		DisableProfileCache: *nocache,
@@ -155,7 +159,11 @@ func printProfStats(results []*pipeline.Result) {
 		if ps.Fused {
 			mode = "counter-fused edge/call reconstruction"
 		}
-		fmt.Printf("\n%s: %s\n", r.Name, mode)
+		scheme := ps.Scheme
+		if scheme == "" {
+			scheme = "window"
+		}
+		fmt.Printf("\n%s: scheme=%s, %s\n", r.Name, scheme, mode)
 		if ps.Batched {
 			rec := float64(0)
 			if ps.Batches > 0 {
@@ -215,6 +223,9 @@ func runAblations(benches string, jobs int, cstats, nocache bool, checkMode pipe
 		config{"no-vn", pipeline.Options{Sched: sched.Options{DisableVN: true}}},
 		config{"upward-growth", pipeline.Options{Form: func(c *core.Config) { c.GrowUpward = true }}},
 		config{"cross-act", pipeline.Options{PathCrossActivation: true}},
+		config{"bl", pipeline.Options{Profiler: pipeline.ProfilerBL}},
+		config{"bl-k2", pipeline.Options{Profiler: pipeline.ProfilerBL, BLIterations: 2}},
+		config{"bl-k8", pipeline.Options{Profiler: pipeline.ProfilerBL, BLIterations: 8}},
 		config{"baseline", pipeline.Options{}},
 	)
 	fmt.Printf("# ablations over %v (geomean of P4/M4 ideal cycles; lower favors P4)\n\n", names)

@@ -1,0 +1,118 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+
+	"pathsched/internal/ir"
+	"pathsched/internal/profile"
+)
+
+// BLFlow verifies a Ball–Larus numbered path profile against the CFG
+// and (when ep is the edge profile of the same run) against exact flow
+// conservation. Each counted path id decodes to a block sequence;
+// every adjacent pair inside it must be a real CFG edge, the block and
+// edge frequencies implied by all decoded paths must equal the edge
+// profile's exactly — a numbered path covers each of its blocks once
+// and each of its internal edges once, plus the cut edge that ended it
+// — and the total number of completed paths must equal procedure
+// entries plus traversals of the path-ending (back/overflow) edges.
+// Any miscounted increment, bad numbering, or decode error breaks one
+// of these identities at the block where it happened.
+func BLFlow(prog *ir.Program, bl *profile.BLProfiler, ep *profile.EdgeProfile) []Violation {
+	var out []Violation
+	for pid, p := range prog.Procs {
+		pid := ir.ProcID(pid)
+		bad := func(b ir.BlockID, format string, args ...any) {
+			out = append(out, Violation{
+				Proc: p.Name, Block: b, Instr: NoInstr,
+				Msg: fmt.Sprintf(format, args...),
+			})
+		}
+
+		isEdge := func(from, to ir.BlockID) bool {
+			for _, s := range p.Block(from).Succs() {
+				if s == to {
+					return true
+				}
+			}
+			return false
+		}
+
+		blockCnt := make([]int64, len(p.Blocks))
+		edgeCnt := map[[2]ir.BlockID]int64{}
+		bl.ForEachPath(pid, func(id, n int64) {
+			blocks, cutTo := bl.DecodePath(pid, id)
+			if len(blocks) == 0 {
+				bad(ir.NoBlock, "path %d: decodes to no blocks", id)
+				return
+			}
+			for i, b := range blocks {
+				if int(b) >= len(blockCnt) {
+					bad(b, "path %d: block out of range", id)
+					return
+				}
+				blockCnt[b] += n
+				if i > 0 {
+					if !isEdge(blocks[i-1], b) {
+						bad(blocks[i-1], "path %d: decoded pair b%d->b%d is not a CFG edge", id, blocks[i-1], b)
+						return
+					}
+					edgeCnt[[2]ir.BlockID{blocks[i-1], b}] += n
+				}
+			}
+			if cutTo != ir.NoBlock {
+				last := blocks[len(blocks)-1]
+				if !isEdge(last, cutTo) {
+					bad(last, "path %d: cut edge b%d->b%d is not a CFG edge", id, last, cutTo)
+					return
+				}
+				edgeCnt[[2]ir.BlockID{last, cutTo}] += n
+			}
+		})
+
+		if ep == nil || int(pid) >= ep.NumProcs() {
+			continue
+		}
+
+		// Exact agreement with the run's edge profile, both directions:
+		// every CFG block and every CFG edge is compared, so a count the
+		// numbered paths have and the edge profile lacks surfaces just
+		// like the converse.
+		for _, b := range p.Blocks {
+			if en := ep.BlockFreq(pid, b.ID); blockCnt[b.ID] != en {
+				bad(b.ID, "block frequency: numbered paths say %d, edge profile says %d", blockCnt[b.ID], en)
+			}
+			seen := map[ir.BlockID]bool{}
+			for _, t := range b.Succs() {
+				if seen[t] {
+					continue
+				}
+				seen[t] = true
+				if pn, en := edgeCnt[[2]ir.BlockID{b.ID, t}], ep.EdgeFreq(pid, b.ID, t); pn != en {
+					bad(b.ID, "edge b%d->b%d: numbered paths say %d, edge profile says %d", b.ID, t, pn, en)
+				}
+			}
+		}
+
+		// Completion conservation: one path completes per activation and
+		// one per path-ending edge traversal, nothing else.
+		want := ep.Entries(pid)
+		bl.ForEachCutEdge(pid, func(from, to ir.BlockID) {
+			want += ep.EdgeFreq(pid, from, to)
+		})
+		if got := bl.Completions(pid); got != want {
+			bad(ir.NoBlock, "completions: %d paths completed, want %d (entries + cut-edge traversals)", got, want)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Proc != out[j].Proc {
+			return out[i].Proc < out[j].Proc
+		}
+		if out[i].Block != out[j].Block {
+			return out[i].Block < out[j].Block
+		}
+		return out[i].Msg < out[j].Msg
+	})
+	return out
+}

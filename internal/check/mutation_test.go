@@ -389,3 +389,57 @@ func TestViolationRendering(t *testing.T) {
 		t.Fatal("empty violation set must fold to nil")
 	}
 }
+
+// Mutation 10: retarget a hoisted (speculated) load's destination onto
+// a register that is live into the off-trace target of the exit it was
+// hoisted above. That is exactly the clobber live-range renaming
+// exists to prevent (§2.3 of the paper): the off-trace path would read
+// the speculative value instead of the one it expects.
+func TestMutationSpeculativeClobberLive(t *testing.T) {
+	prog := compiled(t)
+	mc := machine.Default()
+	if vs := check.Schedules(prog, mc); len(vs) != 0 {
+		t.Fatalf("clean schedule rejected: %v", check.Err("compact", vs))
+	}
+	p := prog.Proc(0)
+	live := sched.LiveIn(p)
+	for _, b := range p.Blocks {
+		if b.Units == nil {
+			continue
+		}
+		for i := range b.Instrs {
+			if b.Instrs[i].Op != ir.OpLoad || !b.Instrs[i].Spec || b.Instrs[i].Dst.IsVirtual() {
+				continue
+			}
+			for j := i + 1; j < len(b.Instrs); j++ {
+				// Only exits the load was hoisted above count.
+				if b.ExitUnits[j] == 0 || b.ExitUnits[j] >= b.Units[i] {
+					continue
+				}
+				var reg ir.Reg
+				found := false
+				for _, tg := range b.Instrs[j].Targets {
+					if tg == ir.NoBlock || found {
+						continue
+					}
+					live[tg].ForEach(func(r ir.Reg) {
+						if !found {
+							reg, found = r, true
+						}
+					})
+				}
+				if !found {
+					continue
+				}
+				b.Instrs[i].Dst = reg
+				vs := check.Schedules(prog, mc)
+				v := requireViolation(t, vs, "live into off-trace")
+				if v.Block != b.ID || v.Instr != i {
+					t.Fatalf("violation at b%d instr %d, mutated b%d instr %d", v.Block, v.Instr, b.ID, i)
+				}
+				return
+			}
+		}
+	}
+	t.Fatal("no speculated load above an exit with a live off-trace register found")
+}

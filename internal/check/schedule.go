@@ -135,5 +135,34 @@ func checkBlockSchedule(p *ir.Proc, b *ir.Block, live []sched.RegSet, mc machine
 			}
 		}
 	}
+
+	// Speculation liveness (§2.3's live off-trace renaming, checked
+	// directly): an instruction hoisted above an earlier unit's exit
+	// must not define an architectural register that is live into any
+	// of that exit's targets — the off-trace path would read the
+	// speculative result in place of the value it expects. Repair
+	// copies are exempt by construction: they carry their exit's own
+	// unit, so the strict unit comparison never classifies them as
+	// hoisted across it, and anti dependences pin them below every
+	// earlier exit that reads the same register.
+	if b.Units != nil {
+		for i := range b.Instrs {
+			ins := &b.Instrs[i]
+			if !ins.HasDst() || ins.Dst.IsVirtual() {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if b.ExitUnits[j] == 0 || b.ExitUnits[j] >= b.Units[i] {
+					continue
+				}
+				for _, t := range b.Instrs[j].Targets {
+					if t != ir.NoBlock && live[t].Has(ins.Dst) {
+						bad(i, "def of r%d from unit %d hoisted above exit at instr %d (unit %d) clobbers a register live into off-trace target b%d",
+							ins.Dst, b.Units[i], j, b.ExitUnits[j], t)
+					}
+				}
+			}
+		}
+	}
 	return out
 }

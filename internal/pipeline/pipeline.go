@@ -90,6 +90,20 @@ const (
 	CheckOff
 )
 
+// ProfilerScheme selects which path-profiling scheme gathers the
+// training profile.
+type ProfilerScheme string
+
+const (
+	// ProfilerWindow is the paper's sliding-window general-path
+	// profiler (the default; "" means the same).
+	ProfilerWindow ProfilerScheme = "window"
+	// ProfilerBL is Ball–Larus numbered path profiling with the
+	// k-iteration extension: cheaper training runs, k-bounded
+	// cross-iteration visibility.
+	ProfilerBL ProfilerScheme = "bl"
+)
+
 // Options configures a pipeline run.
 type Options struct {
 	// Machine is the VLIW model (default machine.Default).
@@ -97,10 +111,20 @@ type Options struct {
 	// Cache, when non-nil, simulates the instruction cache; the
 	// measurement then reports both ideal and cache-adjusted cycles.
 	Cache *machine.ICacheConfig
+	// Profiler selects the path-profiling scheme for training runs
+	// (default ProfilerWindow). Every downstream consumer (formation,
+	// ablations, checks) sees an ordinary PathProfile either way.
+	Profiler ProfilerScheme
+	// BLIterations is the Ball–Larus k-iteration extension depth
+	// (profile.BLConfig.Iterations, 0 = adapt to PathDepth); only
+	// meaningful with ProfilerBL.
+	BLIterations int
 	// PathDepth overrides the general-path depth (default 15).
 	PathDepth int
 	// PathCrossActivation keeps path windows per procedure instead of
-	// per activation (see profile.PathConfig.CrossActivation).
+	// per activation (see profile.PathConfig.CrossActivation). Only
+	// supported by the window profiler: Ball–Larus state is strictly
+	// per-activation.
 	PathCrossActivation bool
 	// Form tweaks the formation config after scheme defaults apply
 	// (used by ablation benches). It may be called from several
@@ -214,6 +238,27 @@ func NewRunner(opts Options) *Runner {
 	return r
 }
 
+// train runs the configured profiling scheme over the training build.
+func (r *Runner) train(trainProg *ir.Program) (*profile.TrainingProfiles, error) {
+	switch r.opts.Profiler {
+	case "", ProfilerWindow:
+		return profile.Train(trainProg, profile.PathConfig{
+			Depth:           r.opts.PathDepth,
+			CrossActivation: r.opts.PathCrossActivation,
+		})
+	case ProfilerBL:
+		if r.opts.PathCrossActivation {
+			return nil, fmt.Errorf("profiler %q does not support cross-activation windows", r.opts.Profiler)
+		}
+		return profile.TrainBL(trainProg, profile.BLConfig{
+			Depth:      r.opts.PathDepth,
+			Iterations: r.opts.BLIterations,
+		})
+	default:
+		return nil, fmt.Errorf("unknown profiler scheme %q", r.opts.Profiler)
+	}
+}
+
 // CacheStats returns the runner's cache counters; ok is false when
 // caching is disabled.
 func (r *Runner) CacheStats() (stats CacheStats, ok bool) {
@@ -237,15 +282,12 @@ func (r *Runner) RunBenchmarkContext(ctx context.Context, b *bench.Benchmark, sc
 		return nil, fmt.Errorf("pipeline: %s: train/test builds diverge: %w", b.Name, err)
 	}
 
-	// One training run feeds all profile consumers. profile.Train
-	// picks the fast path automatically: batched path profiling plus
+	// One training run feeds all profile consumers. Both trainers pick
+	// the fast path automatically: batched path profiling plus
 	// counter-fused edge reconstruction on decodable programs,
 	// per-event observers on wide-register fallbacks — the profiles
 	// are identical either way.
-	tp, err := profile.Train(trainProg, profile.PathConfig{
-		Depth:           r.opts.PathDepth,
-		CrossActivation: r.opts.PathCrossActivation,
-	})
+	tp, err := r.train(trainProg)
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: %s: training run: %w", b.Name, err)
 	}
@@ -254,6 +296,9 @@ func (r *Runner) RunBenchmarkContext(ctx context.Context, b *bench.Benchmark, sc
 	if r.check {
 		vs := check.EdgeFlow(trainProg, eprof)
 		vs = append(vs, check.PathFlow(trainProg, pprof, eprof)...)
+		if tp.BL != nil {
+			vs = append(vs, check.BLFlow(trainProg, tp.BL, eprof)...)
+		}
 		if err := check.Err("profile", vs); err != nil {
 			return nil, fmt.Errorf("pipeline: %s: %w", b.Name, err)
 		}
@@ -434,18 +479,33 @@ func (r *Runner) compileKey(progFP, trainFP ir.Digest, cfg core.Config, haveCfg 
 	w.u64(uint64(r.opts.Sched.Machine.FuncUnits))
 	w.u64(uint64(r.opts.Sched.Machine.BranchPerCycle))
 	w.bool(r.opts.Sched.Machine.Realistic)
-	// The formation profiles are functions of (training build, path
-	// parameters); the build is already keyed above, so the parameters
-	// complete the profile identity. Normalizing resolves zero fields
-	// to their defaults, so explicit-default and default-by-omission
-	// configs share entries (ablation sweeps hit this).
-	pc := profile.PathConfig{
-		Depth:           r.opts.PathDepth,
-		CrossActivation: r.opts.PathCrossActivation,
-	}.Normalized()
-	w.u64(uint64(pc.Depth))
-	w.u64(uint64(pc.MaxBlocks))
-	w.bool(pc.CrossActivation)
+	// The formation profiles are functions of (training build,
+	// profiling scheme, path parameters); the build is already keyed
+	// above, so scheme and parameters complete the profile identity.
+	// Normalizing resolves zero fields to their defaults, so
+	// explicit-default and default-by-omission configs share entries
+	// (ablation sweeps hit this).
+	if r.opts.Profiler == ProfilerBL {
+		bc := profile.BLConfig{
+			Depth:      r.opts.PathDepth,
+			Iterations: r.opts.BLIterations,
+		}.Normalized()
+		w.str(string(ProfilerBL))
+		w.u64(uint64(bc.Depth))
+		w.u64(uint64(bc.MaxBlocks))
+		w.u64(uint64(bc.Iterations))
+		w.bool(false)
+	} else {
+		pc := profile.PathConfig{
+			Depth:           r.opts.PathDepth,
+			CrossActivation: r.opts.PathCrossActivation,
+		}.Normalized()
+		w.str(string(ProfilerWindow))
+		w.u64(uint64(pc.Depth))
+		w.u64(uint64(pc.MaxBlocks))
+		w.u64(0)
+		w.bool(pc.CrossActivation)
+	}
 	return w.sum()
 }
 

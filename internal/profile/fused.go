@@ -44,21 +44,31 @@ func CallCountsFromCounts(ec *interp.EdgeCounts) map[[2]ir.ProcID]int64 {
 	return m
 }
 
+// Profiling scheme names reported in TrainStats.Scheme.
+const (
+	TrainSchemeWindow    = "window"   // Young–Smith sliding-window path profiler
+	TrainSchemeBallLarus = "ballarus" // Ball–Larus numbering + k-iteration extension
+)
+
 // TrainStats describes how a Train (or PointProfiles) run executed,
 // for cmd/experiments -profstats.
 type TrainStats struct {
-	Fused     bool // edge/call profiles reconstructed from engine counters
-	Batched   bool // path profiler fed through interp.BatchObserver
+	Scheme    string // which profiling scheme produced the path profile
+	Fused     bool   // edge/call profiles reconstructed from engine counters
+	Batched   bool   // path profiler fed through interp.BatchObserver
 	Batches   int64
 	Records   int64
 	Automaton []ProcAutomatonStats
 }
 
-// TrainingProfiles bundles everything one training run yields.
+// TrainingProfiles bundles everything one training run yields. BL is
+// non-nil only for TrainBL runs: the raw numbered-path counters behind
+// Path, kept for flow checking and diagnostics.
 type TrainingProfiles struct {
 	Edge  *EdgeProfile
 	Path  *PathProfile
 	Calls map[[2]ir.ProcID]int64
+	BL    *BLProfiler
 	Stats TrainStats
 }
 
@@ -79,6 +89,7 @@ func Train(prog *ir.Program, cfg PathConfig) (*TrainingProfiles, error) {
 			return nil, err
 		}
 		tp := &TrainingProfiles{Edge: ep.Profile(), Path: pp.Profile(), Calls: cg.Counts()}
+		tp.Stats.Scheme = TrainSchemeWindow
 		tp.Stats.Automaton = pp.AutomatonStats()
 		return tp, nil
 	}
@@ -91,9 +102,47 @@ func Train(prog *ir.Program, cfg PathConfig) (*TrainingProfiles, error) {
 		Path:  pp.Profile(),
 		Calls: CallCountsFromCounts(ec),
 	}
+	tp.Stats.Scheme = TrainSchemeWindow
 	tp.Stats.Fused, tp.Stats.Batched = true, true
 	tp.Stats.Batches, tp.Stats.Records = pp.BatchStats()
 	tp.Stats.Automaton = pp.AutomatonStats()
+	return tp, nil
+}
+
+// TrainBL is Train with the Ball–Larus numbered path profiler in place
+// of the window profiler: same run modes (batched records on decodable
+// programs, per-event observers on fallback programs), same
+// counter-fused edge/call reconstruction, but the path half costs one
+// arithmetic add per edge record. The returned Path is the decoded
+// k-iteration profile; BL keeps the raw numbered counters.
+func TrainBL(prog *ir.Program, cfg BLConfig) (*TrainingProfiles, error) {
+	bl := NewBLProfiler(prog, cfg)
+	eng := interp.EngineFor(prog)
+	if eng.Fallback() {
+		ep := NewEdgeProfiler(prog)
+		cg := NewCallGraphProfiler()
+		if _, err := interp.Run(prog, interp.Config{Observer: Multi{ep, bl, cg}}); err != nil {
+			return nil, err
+		}
+		tp := &TrainingProfiles{Edge: ep.Profile(), Path: bl.Profile(), Calls: cg.Counts(), BL: bl}
+		tp.Stats.Scheme = TrainSchemeBallLarus
+		tp.Stats.Automaton = bl.AutomatonStats()
+		return tp, nil
+	}
+	_, ec, err := eng.RunCounted(interp.Config{Batch: bl})
+	if err != nil {
+		return nil, err
+	}
+	tp := &TrainingProfiles{
+		Edge:  EdgeProfilerFromCounts(prog, ec).Profile(),
+		Path:  bl.Profile(),
+		Calls: CallCountsFromCounts(ec),
+		BL:    bl,
+	}
+	tp.Stats.Scheme = TrainSchemeBallLarus
+	tp.Stats.Fused, tp.Stats.Batched = true, true
+	tp.Stats.Batches, tp.Stats.Records = bl.BatchStats()
+	tp.Stats.Automaton = bl.AutomatonStats()
 	return tp, nil
 }
 

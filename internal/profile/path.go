@@ -560,6 +560,11 @@ type PathProfile struct {
 // Depth returns the branch-depth bound the profile was gathered with.
 func (pf *PathProfile) Depth() int { return pf.cfg.Depth }
 
+// Config returns the (normalized) configuration the profile was
+// gathered with — the value cache keys over profiling parameters must
+// reproduce after a serialize→parse round trip.
+func (pf *PathProfile) Config() PathConfig { return pf.cfg }
+
 // CrossActivation reports whether the profile was gathered with one
 // window per procedure (recursion interleaves) rather than one per
 // activation. Consumers comparing path-derived point statistics against

@@ -23,9 +23,15 @@ import (
 // Path profiles serialize the distinct windows the profiler recorded
 // (not the derived suffix index, which is reconstructed on load):
 //
-//	pathprofile depth=<d> maxblocks=<m>
+//	pathprofile depth=<d> maxblocks=<m> [crossact=1]
 //	proc <id>
 //	path <count>: b<i> b<j> ...
+//
+// crossact appears only when set, so profiles written without it keep
+// their exact historical bytes. The header must carry the complete
+// normalized configuration: cache keys fingerprint the parsed config,
+// and a field that doesn't survive the round trip silently conflates
+// differently-gathered profiles.
 
 // WriteText serializes an edge profile.
 func (e *EdgeProfile) WriteText() string {
@@ -118,7 +124,11 @@ func ParseEdgeProfile(nprocs int, text string) (*EdgeProfile, error) {
 // WriteText serializes the profiler's recorded windows.
 func (pp *PathProfiler) WriteText() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "pathprofile depth=%d maxblocks=%d\n", pp.cfg.Depth, pp.cfg.MaxBlocks)
+	fmt.Fprintf(&sb, "pathprofile depth=%d maxblocks=%d", pp.cfg.Depth, pp.cfg.MaxBlocks)
+	if pp.cfg.CrossActivation {
+		sb.WriteString(" crossact=1")
+	}
+	sb.WriteString("\n")
 	for pid, st := range pp.procs {
 		if len(st.nodesList) == 0 {
 			continue
@@ -143,6 +153,18 @@ func (pp *PathProfiler) WriteText() string {
 // queryable PathProfile. prog supplies the branch classification
 // TrimToDepth depends on.
 func ParsePathProfile(prog *ir.Program, text string) (*PathProfile, error) {
+	pp, err := ParsePathProfiler(prog, text)
+	if err != nil {
+		return nil, err
+	}
+	return pp.Profile(), nil
+}
+
+// ParsePathProfiler reads the text form back into a live profiler, so
+// callers can re-serialize: WriteText∘ParsePathProfiler∘WriteText is
+// the identity, which keeps cache keys over serialized profiles
+// stable.
+func ParsePathProfiler(prog *ir.Program, text string) (*PathProfiler, error) {
 	lines := strings.Split(text, "\n")
 	if len(lines) == 0 || !strings.HasPrefix(strings.TrimSpace(lines[0]), "pathprofile") {
 		return nil, fmt.Errorf("profile: missing pathprofile header")
@@ -162,6 +184,8 @@ func ParsePathProfile(prog *ir.Program, text string) (*PathProfile, error) {
 				return nil, fmt.Errorf("profile: bad maxblocks %q", f)
 			}
 			cfg.MaxBlocks = v
+		case f == "crossact=1":
+			cfg.CrossActivation = true
 		default:
 			return nil, fmt.Errorf("profile: unknown header field %q", f)
 		}
@@ -214,5 +238,5 @@ func ParsePathProfile(prog *ir.Program, text string) (*PathProfile, error) {
 			return nil, fmt.Errorf("profile: line %d: unrecognized %q", no+2, line)
 		}
 	}
-	return pp.Profile(), nil
+	return pp, nil
 }

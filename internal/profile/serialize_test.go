@@ -105,6 +105,41 @@ func TestPathProfileRoundTripOnRealRun(t *testing.T) {
 	}
 }
 
+// The parsed profile must carry the complete configuration the writer
+// had — cache keys fingerprint the normalized config, so any field
+// that fails to survive the round trip silently conflates
+// differently-gathered profiles — and re-serializing must reproduce
+// the exact bytes.
+func TestPathProfileConfigRoundTrip(t *testing.T) {
+	prog := chainProg([]bool{true, false, true})
+	configs := []PathConfig{
+		{},
+		{Depth: 4, MaxBlocks: 10},
+		{Depth: 7},
+		{MaxBlocks: 9},
+		{Depth: 4, MaxBlocks: 10, CrossActivation: true},
+		{CrossActivation: true},
+	}
+	for _, cfg := range configs {
+		pp := NewPathProfiler(prog, cfg)
+		rng := rand.New(rand.NewSource(23))
+		for a := 0; a < 4; a++ {
+			feedWalk(pp, legalWalk(prog, rng, 30))
+		}
+		text := pp.WriteText()
+		back, err := ParsePathProfiler(prog, text)
+		if err != nil {
+			t.Fatalf("%+v: ParsePathProfiler: %v", cfg, err)
+		}
+		if got, want := back.Profile().Config(), cfg.Normalized(); got != want {
+			t.Errorf("%+v: config after round trip = %+v, want %+v", cfg, got, want)
+		}
+		if again := back.WriteText(); again != text {
+			t.Errorf("%+v: serialize->parse->serialize not byte-identical:\n%s\nvs\n%s", cfg, text, again)
+		}
+	}
+}
+
 func TestProfileParseErrors(t *testing.T) {
 	prog := chainProg([]bool{true, true})
 	edgeCases := []string{

@@ -11,6 +11,7 @@
 package sched
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -107,7 +108,7 @@ func compactSuperblock(p *ir.Proc, sb *core.Superblock, live []RegSet, pool []ir
 	tryRename := !opts.DisableRenaming
 	final, cycles, span, err := scheduleNodes(p, nodes, tryRename, opts)
 	if err != nil {
-		return err
+		return tagCycleError(err, p, sb)
 	}
 	head := p.Block(sb.Blocks[0])
 	install(head, sb, final, cycles, span)
@@ -118,13 +119,24 @@ func compactSuperblock(p *ir.Proc, sb *core.Superblock, live []RegSet, pool []ir
 		if aerr := regalloc.AssignVirtuals(head, pool); aerr != nil {
 			final, cycles, span, err = scheduleNodes(p, fallback, false, opts)
 			if err != nil {
-				return err
+				return tagCycleError(err, p, sb)
 			}
 			install(head, sb, final, cycles, span)
 		}
 	}
 	sb.Blocks = sb.Blocks[:1]
 	return nil
+}
+
+// tagCycleError stamps a scheduler CycleError with the procedure and
+// superblock head block it came from.
+func tagCycleError(err error, p *ir.Proc, sb *core.Superblock) error {
+	var ce *CycleError
+	if errors.As(err, &ce) && ce.Proc == "" {
+		ce.Proc = p.Name
+		ce.Block = sb.Blocks[0]
+	}
+	return err
 }
 
 // scheduleNodes runs DCE/renaming, builds the DDG, schedules, and
@@ -142,7 +154,10 @@ func scheduleNodes(p *ir.Proc, nodes []node, doRename bool, opts Options) ([]nod
 		nodes = eliminateDeadDefs(nodes)
 	}
 	g := buildDDG(nodes, opts.Machine)
-	cycles, span := listSchedule(nodes, g, opts.Machine)
+	cycles, span, err := listSchedule(nodes, g, opts.Machine)
+	if err != nil {
+		return nil, nil, 0, err
+	}
 
 	// Linearize by (cycle, program order). Program order breaks ties so
 	// latency-0 pairs (WAR, control pins) execute correctly under the

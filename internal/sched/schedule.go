@@ -1,17 +1,43 @@
 package sched
 
 import (
+	"fmt"
 	"sort"
 
+	"pathsched/internal/ir"
 	"pathsched/internal/machine"
 )
+
+// CycleError reports a dependence-graph cycle found during list
+// scheduling: no instruction was ready, yet some remain unscheduled.
+// Compaction tags it with the procedure and superblock head block so a
+// suite run can report exactly which procedure is malformed instead of
+// crashing the whole parallel run.
+type CycleError struct {
+	// Proc is the name of the offending procedure ("" until compaction
+	// tags the error).
+	Proc string
+	// Block is the superblock's head block (ir.NoBlock until tagged).
+	Block ir.BlockID
+	// Remaining is how many instructions were left unscheduled when the
+	// cycle was detected.
+	Remaining int
+}
+
+func (e *CycleError) Error() string {
+	if e.Proc == "" {
+		return fmt.Sprintf("scheduler deadlock: dependence graph has a cycle (%d instructions unschedulable)", e.Remaining)
+	}
+	return fmt.Sprintf("scheduler deadlock in %s block b%d: dependence graph has a cycle (%d instructions unschedulable)", e.Proc, e.Block, e.Remaining)
+}
 
 // listSchedule performs top-down cycle scheduling (§2.3): cycle by
 // cycle, the ready instructions with the greatest critical-path height
 // fill the machine's functional units, with at most one control
 // operation per cycle. It returns each node's issue cycle and the
-// total span (makespan) in cycles.
-func listSchedule(nodes []node, g *ddg, mc machine.Config) (cycles []int32, span int32) {
+// total span (makespan) in cycles, or a *CycleError if the dependence
+// graph is cyclic and no legal order exists.
+func listSchedule(nodes []node, g *ddg, mc machine.Config) (cycles []int32, span int32, err error) {
 	n := len(nodes)
 	cycles = make([]int32, n)
 	earliest := make([]int32, n)
@@ -38,7 +64,7 @@ func listSchedule(nodes []node, g *ddg, mc machine.Config) (cycles []int32, span
 			return ia < ib
 		})
 		if len(ready) == 0 {
-			panic("sched: scheduler deadlock: dependence graph has a cycle")
+			return nil, 0, &CycleError{Block: ir.NoBlock, Remaining: remaining}
 		}
 		slots := mc.FuncUnits
 		branches := mc.BranchPerCycle
@@ -80,5 +106,5 @@ func listSchedule(nodes []node, g *ddg, mc machine.Config) (cycles []int32, span
 			span = cycles[i] + 1
 		}
 	}
-	return cycles, span
+	return cycles, span, nil
 }

@@ -1,0 +1,67 @@
+package sched
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"pathsched/internal/ir"
+	"pathsched/internal/machine"
+)
+
+// listSchedule must fail cleanly — not panic — when handed a cyclic
+// dependence graph: one bad procedure should fail its own benchmark
+// run, not crash a whole parallel suite. Dependences itself only
+// produces forward edges, so the cycle is built by hand, standing in
+// for any future dependence rule (or corrupted input) that wires one.
+func TestListScheduleCycleError(t *testing.T) {
+	nodes := []node{
+		{ins: ir.MovI(8, 1)},
+		{ins: ir.MovI(9, 2)},
+		{ins: ir.Ret(8)},
+	}
+	// Nodes 0 and 1 depend on each other; node 2 is free and schedules,
+	// after which nothing is ready with two nodes remaining.
+	g := &ddg{
+		succs:  [][]edge{{{to: 1, lat: 1}}, {{to: 0, lat: 1}}, nil},
+		npreds: []int{1, 1, 0},
+		height: []int32{1, 1, 0},
+	}
+	_, _, err := listSchedule(nodes, g, machine.Default())
+	if err == nil {
+		t.Fatal("listSchedule on a cyclic DDG returned no error")
+	}
+	var ce *CycleError
+	if !errors.As(err, &ce) {
+		t.Fatalf("got %T (%v), want *CycleError", err, err)
+	}
+	if ce.Remaining != 2 {
+		t.Errorf("Remaining = %d, want 2", ce.Remaining)
+	}
+	if msg := ce.Error(); !strings.Contains(msg, "cycle") {
+		t.Errorf("untagged message %q does not mention the cycle", msg)
+	}
+	// Compaction tags the error with proc/block identity; the message
+	// must carry both.
+	ce.Proc, ce.Block = "f", 3
+	if msg := ce.Error(); !strings.Contains(msg, "f") || !strings.Contains(msg, "b3") {
+		t.Errorf("tagged message %q lacks proc/block identity", msg)
+	}
+}
+
+// An acyclic graph still schedules after the error-return conversion.
+func TestListScheduleAcyclicOK(t *testing.T) {
+	nodes := []node{
+		{ins: ir.MovI(8, 1)},
+		{ins: ir.Mov(9, 8)},
+		{ins: ir.Ret(9)},
+	}
+	g := buildDDG(nodes, machine.Default())
+	cycles, span, err := listSchedule(nodes, g, machine.Default())
+	if err != nil {
+		t.Fatalf("listSchedule: %v", err)
+	}
+	if len(cycles) != len(nodes) || span <= 0 {
+		t.Fatalf("cycles=%v span=%d", cycles, span)
+	}
+}

@@ -1,0 +1,295 @@
+// Command benchcompile measures the cold compile — superblock
+// formation plus compaction, no caching — across the benchmark suite,
+// and writes the result to BENCH_compile.json.
+//
+// Five arms are timed per trial, each a full pass over every
+// benchmark × scheme:
+//
+//   - ref:  the reference compaction path (sched.Options.Reference),
+//     the implementation the allocation-free fast path replaced;
+//   - fast: the fast path, serial (Parallelism 1);
+//   - par:  the fast path at default parallelism (GOMAXPROCS);
+//   - chk-recompute: fast serial plus the schedule checker rebuilding
+//     dependences from the emitted order (the old checked-compile cost);
+//   - chk-recorded: fast serial with dependence recording
+//     (sched.Options.RecordDeps) feeding check.SchedulesWithDeps.
+//
+// Before any timing, one untimed pass pins the output: the structural
+// fingerprint of every compiled binary must be identical across the
+// reference path, the serial fast path, and worker counts 1/2/8 —
+// the optimizations may not change a single emitted byte.
+//
+// Like cmd/benchinterp and cmd/benchpipeline, this expects noisy
+// shared machines: each trial times all arms adjacently (alternating
+// order), and speedups are medians of per-trial ratios so drift that
+// moves a whole trial cancels.
+//
+// Usage:
+//
+//	go run ./cmd/benchcompile [-trials N] [-bench a,b] [-o BENCH_compile.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"pathsched/internal/bench"
+	"pathsched/internal/check"
+	"pathsched/internal/core"
+	"pathsched/internal/ir"
+	"pathsched/internal/machine"
+	"pathsched/internal/profile"
+	"pathsched/internal/sched"
+)
+
+type armStats struct {
+	Trials        []float64 `json:"trials_seconds"`
+	MedianSeconds float64   `json:"median_seconds"`
+}
+
+type report struct {
+	Benchmarks []string `json:"benchmarks"`
+	Schemes    []string `json:"schemes"`
+	TrialCount int      `json:"trials"`
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+
+	Ref          armStats `json:"reference"`
+	Fast         armStats `json:"fast_serial"`
+	Par          armStats `json:"fast_parallel"`
+	ChkRecompute armStats `json:"checked_recompute"`
+	ChkRecorded  armStats `json:"checked_recorded"`
+
+	// Speedups are medians of per-trial ref/arm ratios; >1 means the
+	// arm compiled the suite faster than the reference arm of the same
+	// trial.
+	SpeedupFast float64 `json:"speedup_fast_vs_reference"`
+	SpeedupPar  float64 `json:"speedup_parallel_vs_reference"`
+
+	// Checker overheads are medians of per-trial (checked/fast - 1):
+	// the fractional cost of a checked compile over an unchecked one,
+	// with the dependences recomputed vs recorded.
+	OverheadRecompute float64 `json:"checker_overhead_recompute"`
+	OverheadRecorded  float64 `json:"checker_overhead_recorded"`
+
+	// FingerprintsIdentical records the untimed identity pass: every
+	// benchmark × scheme compiled to the same structural fingerprint
+	// under the reference path and worker counts 1, 2, and 8.
+	FingerprintsIdentical bool  `json:"fingerprints_identical"`
+	WorkerCountsVerified  []int `json:"worker_counts_verified"`
+
+	WallClockSeconds float64 `json:"wall_clock_seconds"`
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// unit is one benchmark × scheme compile: a prebuilt test program, its
+// training profiles, and the resolved formation config.
+type unit struct {
+	name  string // "benchmark/scheme", for messages
+	bench string // map key into units.prog
+	cfg   core.Config
+}
+
+type units struct {
+	list []unit
+	prog map[string]*ir.Program
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchcompile:", err)
+	os.Exit(1)
+}
+
+// compileOne forms and compacts u's program. The program is read-only
+// (Form clones internally), so arms can reuse one build.
+func (us *units) compileOne(u unit, opts sched.Options) (*core.Result, error) {
+	res, err := core.Form(us.prog[u.bench], u.cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%s: Form: %w", u.name, err)
+	}
+	if err := sched.Compact(res, opts); err != nil {
+		return nil, fmt.Errorf("%s: Compact: %w", u.name, err)
+	}
+	return res, nil
+}
+
+func main() {
+	trials := flag.Int("trials", 5, "paired trials (each times all five arms)")
+	benches := flag.String("bench", "", "comma-separated benchmark names (default: whole suite)")
+	schemes := flag.String("schemes", "M4,P4", "comma-separated formation schemes (M4 = edge-based unroll 4, P4 = path-based)")
+	depth := flag.Int("depth", 15, "path profile depth in branches")
+	out := flag.String("o", "BENCH_compile.json", "output file")
+	flag.Parse()
+
+	names := bench.Names()
+	if *benches != "" {
+		names = strings.Split(*benches, ",")
+	}
+	mc := machine.Default()
+
+	rep := &report{
+		Benchmarks:           names,
+		Schemes:              strings.Split(*schemes, ","),
+		TrialCount:           *trials,
+		GoVersion:            runtime.Version(),
+		GOMAXPROCS:           runtime.GOMAXPROCS(0),
+		WorkerCountsVerified: []int{1, 2, 8},
+	}
+
+	// Untimed setup: build and train every benchmark once, resolve one
+	// formation config per benchmark × scheme. Formation runs serial in
+	// the timed arms except `par`, where compaction parallelism is the
+	// knob under test (formation stays serial so the arm isolates it).
+	us := &units{prog: map[string]*ir.Program{}}
+	for _, name := range names {
+		b := bench.ByName(name)
+		if b == nil {
+			fail(fmt.Errorf("unknown benchmark %q", name))
+		}
+		trainProg := b.Build(b.Train)
+		us.prog[name] = b.Build(b.Test)
+		tp, err := profile.Train(trainProg, profile.PathConfig{Depth: *depth})
+		if err != nil {
+			fail(fmt.Errorf("%s: training: %w", name, err))
+		}
+		for _, s := range rep.Schemes {
+			cfg := core.DefaultConfig()
+			cfg.Edge, cfg.Path = tp.Edge, tp.Path
+			cfg.Parallelism = 1
+			switch s {
+			case "M4":
+				cfg.Method = core.EdgeBased
+				cfg.UnrollFactor = 4
+			case "M16":
+				cfg.Method = core.EdgeBased
+				cfg.UnrollFactor = 16
+			case "P4":
+				cfg.Method = core.PathBased
+			default:
+				fail(fmt.Errorf("unknown scheme %q", s))
+			}
+			us.list = append(us.list, unit{name: name + "/" + s, bench: name, cfg: cfg})
+		}
+	}
+
+	start := time.Now()
+
+	// Identity pass (untimed): reference vs fast at workers 1, 2, 8 —
+	// every compile must fingerprint identically.
+	rep.FingerprintsIdentical = true
+	for _, u := range us.list {
+		res, err := us.compileOne(u, sched.Options{Reference: true})
+		if err != nil {
+			fail(err)
+		}
+		want := ir.Fingerprint(res.Prog)
+		for _, w := range rep.WorkerCountsVerified {
+			res, err := us.compileOne(u, sched.Options{Parallelism: w})
+			if err != nil {
+				fail(err)
+			}
+			if fp := ir.Fingerprint(res.Prog); fp != want {
+				rep.FingerprintsIdentical = false
+				fmt.Fprintf(os.Stderr, "benchcompile: %s: workers=%d fingerprint diverges from reference\n", u.name, w)
+			}
+		}
+	}
+	if !rep.FingerprintsIdentical {
+		fail(fmt.Errorf("fast compaction changed output"))
+	}
+	fmt.Printf("identity: %d compiles byte-identical across reference and workers %v\n",
+		len(us.list), rep.WorkerCountsVerified)
+
+	runArm := func(opts sched.Options, checked, recorded bool) float64 {
+		runtime.GC()
+		t0 := time.Now()
+		for _, u := range us.list {
+			if recorded {
+				opts.RecordDeps = sched.BlockDeps{}
+			}
+			res, err := us.compileOne(u, opts)
+			if err != nil {
+				fail(err)
+			}
+			if checked {
+				if vs := check.SchedulesWithDeps(res.Prog, mc, opts.RecordDeps); len(vs) > 0 {
+					fail(fmt.Errorf("%s: checker: %v", u.name, vs[0]))
+				}
+			}
+		}
+		return time.Since(t0).Seconds()
+	}
+
+	var fastRatios, parRatios, recomputeOver, recordedOver []float64
+	for t := 0; t < *trials; t++ {
+		var ref, fast, par, chkRe, chkRec float64
+		timeFast := func() {
+			fast = runArm(sched.Options{Parallelism: 1}, false, false)
+			par = runArm(sched.Options{}, false, false)
+			chkRe = runArm(sched.Options{Parallelism: 1}, true, false)
+			chkRec = runArm(sched.Options{Parallelism: 1}, true, true)
+		}
+		if t%2 == 0 {
+			ref = runArm(sched.Options{Reference: true}, false, false)
+			timeFast()
+		} else {
+			timeFast()
+			ref = runArm(sched.Options{Reference: true}, false, false)
+		}
+		rep.Ref.Trials = append(rep.Ref.Trials, ref)
+		rep.Fast.Trials = append(rep.Fast.Trials, fast)
+		rep.Par.Trials = append(rep.Par.Trials, par)
+		rep.ChkRecompute.Trials = append(rep.ChkRecompute.Trials, chkRe)
+		rep.ChkRecorded.Trials = append(rep.ChkRecorded.Trials, chkRec)
+		fastRatios = append(fastRatios, ref/fast)
+		parRatios = append(parRatios, ref/par)
+		recomputeOver = append(recomputeOver, chkRe/fast-1)
+		recordedOver = append(recordedOver, chkRec/fast-1)
+		fmt.Printf("trial %d/%d: ref %6.2fs   fast %6.2fs (%.2fx)   par %6.2fs (%.2fx)   chk-recompute %+.1f%%   chk-recorded %+.1f%%\n",
+			t+1, *trials, ref, fast, ref/fast, par, ref/par,
+			100*(chkRe/fast-1), 100*(chkRec/fast-1))
+	}
+	rep.Ref.MedianSeconds = median(rep.Ref.Trials)
+	rep.Fast.MedianSeconds = median(rep.Fast.Trials)
+	rep.Par.MedianSeconds = median(rep.Par.Trials)
+	rep.ChkRecompute.MedianSeconds = median(rep.ChkRecompute.Trials)
+	rep.ChkRecorded.MedianSeconds = median(rep.ChkRecorded.Trials)
+	rep.SpeedupFast = median(fastRatios)
+	rep.SpeedupPar = median(parRatios)
+	rep.OverheadRecompute = median(recomputeOver)
+	rep.OverheadRecorded = median(recordedOver)
+	rep.WallClockSeconds = time.Since(start).Seconds()
+
+	fmt.Printf("median: ref %.2fs   fast %.2fs (%.2fx)   par %.2fs (%.2fx)   checker %+.1f%% recompute, %+.1f%% recorded\n",
+		rep.Ref.MedianSeconds, rep.Fast.MedianSeconds, rep.SpeedupFast,
+		rep.Par.MedianSeconds, rep.SpeedupPar,
+		100*rep.OverheadRecompute, 100*rep.OverheadRecorded)
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("wrote %s (wall clock %.1fs)\n", *out, rep.WallClockSeconds)
+}

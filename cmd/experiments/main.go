@@ -44,6 +44,7 @@ func main() {
 		docheck   = flag.Bool("check", false, "run the semantic checker after every pipeline stage")
 		nocheck   = flag.Bool("nocheck", false, "disable the semantic checker (default: off outside tests)")
 		profstats = flag.Bool("profstats", false, "report per-benchmark training-run statistics (fast-path modes, batch flushes, automaton sizes)")
+		compstats = flag.Bool("compilestats", false, "report per-stage compile wall time (form, compact, check, layout)")
 	)
 	flag.Parse()
 
@@ -141,6 +142,21 @@ func main() {
 	if *profstats {
 		printProfStats(results)
 	}
+	if *compstats {
+		printCompileStats(runner.CompileStats())
+	}
+}
+
+// printCompileStats reports where compile time went across the whole
+// run. Stage times sum over concurrent compiles, so they can exceed
+// wall clock on parallel runs.
+func printCompileStats(cs pipeline.CompileStats) {
+	fmt.Println("\n# compile-stage wall time (summed across workers)")
+	fmt.Printf("  compiles: %d, layout runs: %d\n", cs.Compiles, cs.LayoutRuns)
+	fmt.Printf("  %-8s %8.3fs\n", "form", cs.FormSeconds)
+	fmt.Printf("  %-8s %8.3fs\n", "compact", cs.CompactSeconds)
+	fmt.Printf("  %-8s %8.3fs\n", "check", cs.CheckSeconds)
+	fmt.Printf("  %-8s %8.3fs\n", "layout", cs.LayoutSeconds)
 }
 
 // printProfStats reports how each benchmark's training run executed:

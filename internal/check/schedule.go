@@ -23,6 +23,20 @@ import (
 // per cycle), the Span/ExitUnits/Units annotations, and that every
 // load hoisted above an earlier unit's exit carries Spec.
 func Schedules(prog *ir.Program, mc machine.Config) []Violation {
+	return SchedulesWithDeps(prog, mc, nil)
+}
+
+// SchedulesWithDeps is Schedules with an optional recording of the
+// scheduler's own dependence edges (sched.Options.RecordDeps): for a
+// block present in deps, the recorded edges — already expressed over
+// the emitted instruction order — replace the sched.Dependences
+// recomputation, which is the dominant cost of a checked compile. The
+// dependence rules still cannot drift: the recording comes from the
+// same Dependences seam this package would call. Blocks absent from
+// deps (or all blocks, when deps is nil) are recomputed as before, so
+// a partial recording degrades to the slow path, never to a skipped
+// check.
+func SchedulesWithDeps(prog *ir.Program, mc machine.Config, deps sched.BlockDeps) []Violation {
 	var out []Violation
 	for _, p := range prog.Procs {
 		live := sched.LiveIn(p)
@@ -30,13 +44,17 @@ func Schedules(prog *ir.Program, mc machine.Config) []Violation {
 			if b.Cycles == nil {
 				continue
 			}
-			out = append(out, checkBlockSchedule(p, b, live, mc)...)
+			recorded, ok := deps[b]
+			if !ok {
+				recorded = nil
+			}
+			out = append(out, checkBlockSchedule(p, b, live, mc, recorded, ok)...)
 		}
 	}
 	return out
 }
 
-func checkBlockSchedule(p *ir.Proc, b *ir.Block, live []sched.RegSet, mc machine.Config) []Violation {
+func checkBlockSchedule(p *ir.Proc, b *ir.Block, live []sched.RegSet, mc machine.Config, recorded []sched.DepEdge, haveRecorded bool) []Violation {
 	var out []Violation
 	bad := func(instr int, format string, args ...any) {
 		out = append(out, Violation{
@@ -75,20 +93,31 @@ func checkBlockSchedule(p *ir.Proc, b *ir.Block, live []sched.RegSet, mc machine
 		}
 	}
 
-	// Rebuild the scheduling region from the emitted order.
-	items := make([]sched.DepItem, n)
-	for i := range b.Instrs {
-		it := sched.DepItem{Ins: b.Instrs[i], IsExit: b.ExitUnits[i] != 0}
-		if it.IsExit {
-			for _, t := range b.Instrs[i].Targets {
-				if t != ir.NoBlock {
-					it.LiveOut.Union(live[t])
+	// Dependence/latency validation: either against the scheduler's own
+	// recorded edges (already in emitted order) or, without a
+	// recording, by rebuilding the scheduling region from the emitted
+	// order.
+	edges := recorded
+	if !haveRecorded {
+		items := make([]sched.DepItem, n)
+		for i := range b.Instrs {
+			it := sched.DepItem{Ins: b.Instrs[i], IsExit: b.ExitUnits[i] != 0}
+			if it.IsExit {
+				for _, t := range b.Instrs[i].Targets {
+					if t != ir.NoBlock {
+						it.LiveOut.Union(live[t])
+					}
 				}
 			}
+			items[i] = it
 		}
-		items[i] = it
+		edges = sched.Dependences(items, mc)
 	}
-	for _, e := range sched.Dependences(items, mc) {
+	for _, e := range edges {
+		if e.From < 0 || e.To < 0 || e.From >= n || e.To >= n {
+			bad(NoInstr, "recorded dependence %d->%d outside the block's %d instructions", e.From, e.To, n)
+			continue
+		}
 		if e.Kind == sched.DepWAW {
 			continue // emitted order (From < To) is the whole requirement
 		}

@@ -40,7 +40,9 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"pathsched/internal/bench"
 	"pathsched/internal/check"
@@ -206,6 +208,41 @@ type Runner struct {
 	opts  Options
 	cache *Cache // nil when caching is disabled
 	check bool   // resolved CheckMode
+	stats stageStats
+}
+
+// stageStats accumulates wall time per compile stage across all of a
+// runner's (possibly concurrent) compiles.
+type stageStats struct {
+	formNS, compactNS, checkNS, layoutNS atomic.Int64
+	compiles, layoutRuns                 atomic.Int64
+}
+
+// CompileStats reports where a runner's compile time went, summed over
+// every compile it performed (concurrent stage times add up, so the
+// totals can exceed wall time on parallel runs). Surfaced by
+// cmd/experiments -compilestats.
+type CompileStats struct {
+	Compiles   int64 // compileWith invocations (cache misses only, when caching)
+	LayoutRuns int64 // layout-weight training runs
+
+	FormSeconds    float64 // superblock formation
+	CompactSeconds float64 // sched.Compact / CompactBasicBlocks
+	CheckSeconds   float64 // semantic checker gates (0 when checking is off)
+	LayoutSeconds  float64 // layout training runs
+}
+
+// CompileStats returns the per-stage compile wall-time counters
+// accumulated so far.
+func (r *Runner) CompileStats() CompileStats {
+	return CompileStats{
+		Compiles:       r.stats.compiles.Load(),
+		LayoutRuns:     r.stats.layoutRuns.Load(),
+		FormSeconds:    float64(r.stats.formNS.Load()) / 1e9,
+		CompactSeconds: float64(r.stats.compactNS.Load()) / 1e9,
+		CheckSeconds:   float64(r.stats.checkNS.Load()) / 1e9,
+		LayoutSeconds:  float64(r.stats.layoutNS.Load()) / 1e9,
+	}
 }
 
 // NewRunner returns a runner with the given options.
@@ -220,6 +257,12 @@ func NewRunner(opts Options) *Runner {
 	}
 	if opts.Parallelism <= 0 {
 		opts.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if opts.Sched.Parallelism == 0 {
+		// Compaction fans out across procedures under the same knob
+		// that bounds benchmark/scheme fan-out; output is identical at
+		// any setting.
+		opts.Sched.Parallelism = opts.Parallelism
 	}
 	r := &Runner{opts: opts}
 	switch opts.Check {
@@ -399,29 +442,49 @@ func (r *Runner) formConfig(s Scheme, eprof *profile.EdgeProfile, pprof *profile
 // scheme compiles. base is prog's precomputed def-before-use baseline
 // (nil when checking is off).
 func (r *Runner) compileWith(prog *ir.Program, base check.Baseline, cfg core.Config, haveCfg bool) (*ir.Program, core.Stats, error) {
+	r.stats.compiles.Add(1)
+	// Checked compiles record the scheduler's own dependence edges so
+	// the schedule check consumes them instead of recomputing every
+	// block's dependences. The options copy keeps the recording map
+	// private to this compile (r.opts.Sched is shared across workers).
+	so := r.opts.Sched
+	if r.check {
+		so.RecordDeps = sched.BlockDeps{}
+	}
 	if !haveCfg {
 		bb := ir.CloneProgram(prog)
-		if err := sched.CompactBasicBlocks(bb, r.opts.Sched); err != nil {
+		t0 := time.Now()
+		err := sched.CompactBasicBlocks(bb, so)
+		r.stats.compactNS.Add(int64(time.Since(t0)))
+		if err != nil {
 			return nil, core.Stats{}, err
 		}
-		if err := r.checkCompacted(base, bb); err != nil {
+		if err := r.checkCompacted(base, bb, so.RecordDeps); err != nil {
 			return nil, core.Stats{}, err
 		}
 		return bb, core.Stats{}, nil
 	}
+	t0 := time.Now()
 	formed, err := core.Form(prog, cfg)
+	r.stats.formNS.Add(int64(time.Since(t0)))
 	if err != nil {
 		return nil, core.Stats{}, err
 	}
 	if r.check {
-		if err := check.Err("form", check.Superblocks(formed)); err != nil {
+		t1 := time.Now()
+		err := check.Err("form", check.Superblocks(formed))
+		r.stats.checkNS.Add(int64(time.Since(t1)))
+		if err != nil {
 			return nil, core.Stats{}, err
 		}
 	}
-	if err := sched.Compact(formed, r.opts.Sched); err != nil {
+	t2 := time.Now()
+	err = sched.Compact(formed, so)
+	r.stats.compactNS.Add(int64(time.Since(t2)))
+	if err != nil {
 		return nil, core.Stats{}, err
 	}
-	if err := r.checkCompacted(base, formed.Prog); err != nil {
+	if err := r.checkCompacted(base, formed.Prog, so.RecordDeps); err != nil {
 		return nil, core.Stats{}, err
 	}
 	return formed.Prog, formed.Stats, nil
@@ -432,13 +495,16 @@ func (r *Runner) compileWith(prog *ir.Program, base check.Baseline, cfg core.Con
 // any register the pristine input did not already possibly read
 // undefined (renaming and allocation bugs surface exactly there). base
 // is the pristine input's baseline, shared across every compile of the
-// same build.
-func (r *Runner) checkCompacted(base check.Baseline, bin *ir.Program) error {
+// same build; deps is the compile's recorded dependence edges (nil
+// falls back to recomputation).
+func (r *Runner) checkCompacted(base check.Baseline, bin *ir.Program, deps sched.BlockDeps) error {
 	if !r.check {
 		return nil
 	}
-	vs := check.Schedules(bin, r.opts.Sched.Machine)
+	t0 := time.Now()
+	vs := check.SchedulesWithDeps(bin, r.opts.Sched.Machine, deps)
 	vs = append(vs, check.DefBeforeUse(bin, base)...)
+	r.stats.checkNS.Add(int64(time.Since(t0)))
 	return check.Err("compact", vs)
 }
 
@@ -587,6 +653,9 @@ func (r *Runner) buildScheme(s Scheme, trainProg, testProg *ir.Program, eprof *p
 // layoutWeights runs the transformed training build once and returns
 // the frozen weights layout.Assign consumes.
 func (r *Runner) layoutWeights(trainBin *ir.Program) (*layoutProfile, error) {
+	r.stats.layoutRuns.Add(1)
+	t0 := time.Now()
+	defer func() { r.stats.layoutNS.Add(int64(time.Since(t0))) }()
 	// Pure point profiling: on decodable programs this run carries no
 	// observer at all — the edge and call-graph weights reconstruct
 	// from the engine's visit counters (profile.PointProfiles).

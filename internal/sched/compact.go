@@ -13,13 +13,24 @@ package sched
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"pathsched/internal/core"
 	"pathsched/internal/ir"
 	"pathsched/internal/machine"
 	"pathsched/internal/regalloc"
 )
+
+// BlockDeps records, per scheduled head block, the dependence edges the
+// scheduler itself computed — indexed over the block's *emitted*
+// instruction order, which is exactly the order internal/check
+// re-derives them in. Passing the recording to check.SchedulesWithDeps
+// spares checked runs a full recomputation of every block's
+// dependences. Keys are block pointers: they survive the block
+// renumbering removeDeadBlocks performs after scheduling.
+type BlockDeps map[*ir.Block][]DepEdge
 
 // Options configures compaction.
 type Options struct {
@@ -33,6 +44,22 @@ type Options struct {
 	// numbering requires renaming and is skipped automatically when
 	// renaming is off.
 	DisableVN bool
+	// Parallelism bounds how many procedures compact concurrently
+	// (0 = GOMAXPROCS, 1 = serial). Output is byte-identical at every
+	// setting: procedures are independent (renaming draws from
+	// per-procedure virtual counters), results install into
+	// per-procedure blocks, and the first error in procedure order wins.
+	Parallelism int
+	// RecordDeps, when non-nil, receives every scheduled head block's
+	// dependence edges mapped to emitted instruction order, for
+	// check.SchedulesWithDeps. The map is written only after all
+	// workers join; callers must not share it across concurrent
+	// Compact calls.
+	RecordDeps BlockDeps
+	// Reference selects the seed compaction implementation
+	// (reference.go) — the differential baseline for tests and
+	// cmd/benchcompile. Output is byte-identical to the default path.
+	Reference bool
 }
 
 func (o Options) withDefaults() Options {
@@ -42,31 +69,126 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// blockDeps is one recorded block during compaction, carried per
+// procedure until the deterministic merge after workers join.
+type blockDeps struct {
+	block *ir.Block
+	edges []DepEdge
+}
+
 // Compact schedules every superblock of res in place: after it
 // returns, each superblock is a single merged block carrying Cycles,
 // Span, SBSize, and ExitUnits annotations, dead constituent blocks are
-// removed, and res.Superblocks reflects the new block ids.
+// removed, and res.Superblocks reflects the new block ids. Procedures
+// compact in parallel per opts.Parallelism; the result (and the error,
+// if any) is identical at every worker count.
 func Compact(res *core.Result, opts Options) error {
 	opts = opts.withDefaults()
 	prog := res.Prog
-	for _, p := range prog.Procs {
-		sbs := res.Superblocks[p.ID]
-		live := LiveIn(p)
-		pool := regalloc.FreePool(p)
-		for _, sb := range sbs {
-			if err := compactSuperblock(p, sb, live, pool, opts); err != nil {
-				return fmt.Errorf("sched: %s sb%d: %w", p.Name, sb.ID, err)
+	n := len(prog.Procs)
+	errs := make([]error, n)
+	var recs [][]blockDeps
+	if opts.RecordDeps != nil {
+		recs = make([][]blockDeps, n)
+	}
+	forEachProc(n, opts.Parallelism, func(i int, s *scratch) {
+		p := prog.Procs[i]
+		rec, err := compactProc(p, res.Superblocks[p.ID], opts, s)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		if recs != nil {
+			recs[i] = rec
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	if recs != nil {
+		for _, rec := range recs {
+			for _, bd := range rec {
+				opts.RecordDeps[bd.block] = bd.edges
 			}
 		}
-		if err := removeDeadBlocks(p, sbs); err != nil {
-			return fmt.Errorf("sched: %s: %w", p.Name, err)
-		}
-		res.Superblocks[p.ID] = sbs
 	}
 	if err := ir.Verify(prog); err != nil {
 		return fmt.Errorf("sched: compaction produced invalid IR: %w", err)
 	}
 	return nil
+}
+
+// compactProc compacts one procedure's superblocks with one worker's
+// scratch, returning the recorded block dependences when recording is
+// on.
+func compactProc(p *ir.Proc, sbs []*core.Superblock, opts Options, s *scratch) ([]blockDeps, error) {
+	live := LiveIn(p)
+	pool := regalloc.FreePool(p)
+	record := opts.RecordDeps != nil
+	var rec []blockDeps
+	for _, sb := range sbs {
+		var edges []DepEdge
+		var err error
+		if opts.Reference {
+			edges, err = refCompactSuperblock(p, sb, live, pool, opts, record)
+		} else {
+			edges, err = compactSuperblock(p, sb, live, pool, opts, s, record)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("sched: %s sb%d: %w", p.Name, sb.ID, err)
+		}
+		if record {
+			// The head block pointer is stable across the renumbering
+			// removeDeadBlocks performs below.
+			rec = append(rec, blockDeps{block: p.Block(sb.Blocks[0]), edges: edges})
+		}
+	}
+	if err := removeDeadBlocks(p, sbs); err != nil {
+		return nil, fmt.Errorf("sched: %s: %w", p.Name, err)
+	}
+	return rec, nil
+}
+
+// forEachProc runs fn(i, scratch) for i in [0, n), fanning out across
+// up to `parallelism` goroutines (0 = GOMAXPROCS), each owning one
+// scratch for its whole lifetime. Mirrors core.Form's worker pool:
+// an atomic cursor hands out indices, so the assignment of procedures
+// to workers is racy but the per-index outputs are not — callers keep
+// per-index result slots and merge them in input order after the join.
+func forEachProc(n, parallelism int, fn func(int, *scratch)) {
+	limit := parallelism
+	if limit <= 0 {
+		limit = runtime.GOMAXPROCS(0)
+	}
+	if limit == 1 || n <= 1 {
+		s := newScratch()
+		for i := 0; i < n; i++ {
+			fn(i, s)
+		}
+		return
+	}
+	if limit > n {
+		limit = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(limit)
+	for w := 0; w < limit; w++ {
+		go func() {
+			defer wg.Done()
+			s := newScratch()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i, s)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // CompactBasicBlocks schedules each reachable basic block of prog
@@ -93,39 +215,42 @@ func CompactBasicBlocks(prog *ir.Program, opts Options) error {
 	return Compact(res, opts)
 }
 
-func compactSuperblock(p *ir.Proc, sb *core.Superblock, live []RegSet, pool []ir.Reg, opts Options) error {
-	nodes, err := mergeSuperblock(p, sb, live)
+func compactSuperblock(p *ir.Proc, sb *core.Superblock, live []RegSet, pool []ir.Reg, opts Options, s *scratch, record bool) ([]DepEdge, error) {
+	nodes, err := mergeSuperblock(p, sb, live, s)
 	if err != nil {
-		return err
-	}
-	// An independent merged copy for the no-renaming fallback: rename
-	// mutates instruction operands in place, and install overwrites the
-	// head block the merge reads from.
-	fallback, err := mergeSuperblock(p, sb, live)
-	if err != nil {
-		return err
-	}
-	tryRename := !opts.DisableRenaming
-	final, cycles, span, err := scheduleNodes(p, nodes, tryRename, opts)
-	if err != nil {
-		return tagCycleError(err, p, sb)
+		return nil, err
 	}
 	head := p.Block(sb.Blocks[0])
+	// The no-renaming fallback re-merges lazily (register pressure
+	// failures are rare): rename mutates instruction operands in place
+	// and install overwrites the head block the merge reads from, so
+	// the original head instructions are saved for restoration.
+	origInstrs := head.Instrs
+	tryRename := !opts.DisableRenaming
+	final, cycles, span, edges, err := scheduleNodes(p, nodes, tryRename, opts, s, record)
+	if err != nil {
+		return nil, tagCycleError(err, p, sb)
+	}
 	install(head, sb, final, cycles, span)
 	if tryRename {
 		// Register allocation; on pressure failure, retry without
 		// renaming (the fallback schedule is allocation-clean since it
 		// introduces no virtual registers).
 		if aerr := regalloc.AssignVirtuals(head, pool); aerr != nil {
-			final, cycles, span, err = scheduleNodes(p, fallback, false, opts)
+			head.Instrs = origInstrs
+			fallback, merr := mergeSuperblock(p, sb, live, s)
+			if merr != nil {
+				return nil, merr
+			}
+			final, cycles, span, edges, err = scheduleNodes(p, fallback, false, opts, s, record)
 			if err != nil {
-				return tagCycleError(err, p, sb)
+				return nil, tagCycleError(err, p, sb)
 			}
 			install(head, sb, final, cycles, span)
 		}
 	}
 	sb.Blocks = sb.Blocks[:1]
-	return nil
+	return edges, nil
 }
 
 // tagCycleError stamps a scheduler CycleError with the procedure and
@@ -140,86 +265,165 @@ func tagCycleError(err error, p *ir.Proc, sb *core.Superblock) error {
 }
 
 // scheduleNodes runs DCE/renaming, builds the DDG, schedules, and
-// returns the nodes in final linear order with their cycles.
-func scheduleNodes(p *ir.Proc, nodes []node, doRename bool, opts Options) ([]node, []int32, int32, error) {
+// returns the nodes in final linear order with their cycles. Node
+// storage and the returned nodes live in the scratch; the cycle slice
+// is fresh (it escapes into the installed block). When record is set,
+// the dependence edges are returned mapped to emitted positions.
+func scheduleNodes(p *ir.Proc, nodes []node, doRename bool, opts Options, s *scratch, record bool) ([]node, []int32, int32, []DepEdge, error) {
 	if doRename {
-		nodes = rename(p, nodes)
+		nodes = rename(p, nodes, s)
 		if !opts.DisableVN {
 			// Value numbering needs the single-assignment property that
 			// renaming establishes (§2.3's per-superblock VN + DCE).
-			nodes = valueNumber(nodes)
+			nodes = valueNumber(nodes, s)
 		}
 	}
 	if !opts.DisableDCE {
-		nodes = eliminateDeadDefs(nodes)
+		nodes = eliminateDeadDefs(nodes, s)
 	}
-	g := buildDDG(nodes, opts.Machine)
-	cycles, span, err := listSchedule(nodes, g, opts.Machine)
+	g, edges := buildDDG(nodes, opts.Machine, s)
+	cycles, span, err := listSchedule(nodes, g, opts.Machine, s)
 	if err != nil {
-		return nil, nil, 0, err
+		return nil, nil, 0, nil, err
 	}
 
-	// Linearize by (cycle, program order). Program order breaks ties so
-	// latency-0 pairs (WAR, control pins) execute correctly under the
-	// sequential interpreter.
-	order := make([]int, len(nodes))
-	for i := range order {
-		order[i] = i
+	// Linearize by (cycle, program order): a counting sort over cycles
+	// with ascending index placement, identical to the stable sort it
+	// replaces. Program order breaks ties so latency-0 pairs (WAR,
+	// control pins) execute correctly under the sequential interpreter.
+	n := len(nodes)
+	cnt := i32zero(&s.ccnt, int(span)+1)
+	for _, c := range cycles[:n] {
+		cnt[c]++
 	}
-	sort.SliceStable(order, func(a, b int) bool { return cycles[order[a]] < cycles[order[b]] })
+	pos := int32(0)
+	for c := range cnt {
+		k := cnt[c]
+		cnt[c] = pos
+		pos += k
+	}
+	order := i32buf(&s.order, n)       // emitted position -> node index
+	finalPos := i32buf(&s.finalPos, n) // node index -> emitted position
+	for i := 0; i < n; i++ {
+		c := cycles[i]
+		order[cnt[c]] = int32(i)
+		finalPos[i] = cnt[c]
+		cnt[c]++
+	}
 
-	finalPos := make([]int, len(nodes))
-	for pos, idx := range order {
-		finalPos[idx] = pos
-	}
 	// Mark speculative loads: a load that now executes before an exit
 	// that originally preceded it has been hoisted above that exit and
 	// must not fault (§3.2's non-excepting instructions).
-	var exits []int
+	exits := s.exits[:0]
 	for i := range nodes {
 		if nodes[i].isExit {
-			exits = append(exits, i)
+			exits = append(exits, int32(i))
 		}
 	}
-	outNodes := make([]node, len(nodes))
-	outCycles := make([]int32, len(nodes))
-	for pos, idx := range order {
+	s.exits = exits
+	outNodes := s.outNodes
+	if cap(outNodes) < n {
+		outNodes = make([]node, n)
+	}
+	outNodes = outNodes[:n]
+	s.outNodes = outNodes
+	outCycles := make([]int32, n)
+	for pp := 0; pp < n; pp++ {
+		idx := order[pp]
 		nd := nodes[idx]
 		if nd.ins.Op == ir.OpLoad {
 			for _, e := range exits {
-				if e < idx && finalPos[e] > pos {
+				if e < idx && finalPos[e] > int32(pp) {
 					nd.ins.Spec = true
 					break
 				}
 			}
 		}
-		outNodes[pos] = nd
-		outCycles[pos] = cycles[idx]
+		outNodes[pp] = nd
+		outCycles[pp] = cycles[idx]
 	}
-	return outNodes, outCycles, span, nil
+	var recEdges []DepEdge
+	if record {
+		recEdges = make([]DepEdge, len(edges))
+		for k := range edges {
+			e := &edges[k]
+			recEdges[k] = DepEdge{
+				From: int(finalPos[e.From]),
+				To:   int(finalPos[e.To]),
+				Lat:  e.Lat,
+				Kind: e.Kind,
+			}
+		}
+	}
+	return outNodes, outCycles, span, recEdges, nil
 }
 
 // eliminateDeadDefs is the per-superblock dead-code elimination of
 // §2.3: instructions without side effects whose virtual result is
 // never read are dropped, iterating until stable. Only virtual
 // destinations are candidates — architectural defs may be live outside
-// the superblock.
-func eliminateDeadDefs(nodes []node) []node {
+// the superblock. The used-set is a scratch bitset over the dense
+// register window (architected file + the superblock's virtual range),
+// and the node list is filtered in place.
+func eliminateDeadDefs(nodes []node, s *scratch) []node {
+	// The virtual window only shrinks as instructions die, so one
+	// mapping up front covers every iteration.
+	minVirt, maxVirt := ir.Reg(-1), ir.Reg(-1)
+	buf := s.usesBuf
+	defer func() { s.usesBuf = buf }()
+	for i := range nodes {
+		u := nodes[i].ins.Uses(buf[:0])
+		buf = u
+		for _, r := range u {
+			if r >= ir.VirtBase {
+				if minVirt < 0 || r < minVirt {
+					minVirt = r
+				}
+				if r > maxVirt {
+					maxVirt = r
+				}
+			}
+		}
+		if nodes[i].ins.HasDst() {
+			if r := nodes[i].ins.Dst; r >= ir.VirtBase {
+				if minVirt < 0 || r < minVirt {
+					minVirt = r
+				}
+				if r > maxVirt {
+					maxVirt = r
+				}
+			}
+		}
+	}
+	nRegs := ir.PhysRegs
+	if minVirt >= 0 {
+		nRegs += int(maxVirt-minVirt) + 1
+	}
+	regIndex := func(r ir.Reg) int {
+		if r < ir.VirtBase {
+			return int(r)
+		}
+		return ir.PhysRegs + int(r-minVirt)
+	}
 	for {
-		used := map[ir.Reg]bool{}
-		var buf []ir.Reg
+		used := u64zero(&s.dceUsed, (nRegs+63)/64)
 		for i := range nodes {
-			buf = nodes[i].ins.Uses(buf[:0])
-			for _, u := range buf {
-				used[u] = true
+			u := nodes[i].ins.Uses(buf[:0])
+			buf = u
+			for _, r := range u {
+				ri := regIndex(r)
+				used[ri>>6] |= 1 << uint(ri&63)
 			}
 		}
 		kept := nodes[:0]
 		removed := false
 		for i := range nodes {
 			nd := nodes[i]
-			dead := nd.ins.HasDst() && nd.ins.Dst.IsVirtual() && !used[nd.ins.Dst] &&
-				nd.ins.CanSpeculate() && !nd.isExit
+			dead := false
+			if nd.ins.HasDst() && nd.ins.Dst.IsVirtual() && nd.ins.CanSpeculate() && !nd.isExit {
+				ri := regIndex(nd.ins.Dst)
+				dead = used[ri>>6]&(1<<uint(ri&63)) == 0
+			}
 			if dead {
 				removed = true
 				continue

@@ -24,22 +24,60 @@ type ddg struct {
 
 // buildDDG constructs the DDG over the renamed nodes. The dependence
 // rules themselves live in Dependences (deps.go), shared with the
-// semantic checker in internal/check.
-func buildDDG(nodes []node, mc machine.Config) *ddg {
+// semantic checker in internal/check. It also returns the dependence
+// edges (aliasing scratch storage, valid until the next dependence
+// computation on s) so checked compiles can record them instead of
+// recomputing.
+//
+// Every array lives in the scratch: the successor lists are slices of
+// one flat pool sized exactly to the edge count up front, so filling
+// them never reallocates (a grow would invalidate the earlier
+// sub-slices). Dependences returns edges grouped by From in increasing
+// order, which is what makes the single-pass run-slicing valid.
+func buildDDG(nodes []node, mc machine.Config, s *scratch) (*ddg, []DepEdge) {
 	n := len(nodes)
-	items := make([]DepItem, n)
+	items := s.items
+	if cap(items) < n {
+		items = make([]DepItem, n)
+	}
+	items = items[:n]
+	s.items = items
 	for i := range nodes {
 		items[i] = DepItem{Ins: nodes[i].ins, IsExit: nodes[i].isExit, LiveOut: nodes[i].liveOut}
 	}
-	g := &ddg{
-		succs:  make([][]edge, n),
-		npreds: make([]int, n),
-		height: make([]int32, n),
+	edges := s.dep.dependences(items, mc)
+
+	g := &s.g
+	if cap(g.succs) < n {
+		g.succs = make([][]edge, n)
 	}
-	for _, e := range Dependences(items, mc) {
-		g.succs[e.From] = append(g.succs[e.From], edge{e.To, e.Lat})
-		g.npreds[e.To]++
+	g.succs = g.succs[:n]
+	if cap(g.npreds) < n {
+		g.npreds = make([]int, n)
 	}
+	g.npreds = g.npreds[:n]
+	g.height = i32zero(&g.height, n)
+	for i := range g.succs {
+		g.succs[i] = nil
+		g.npreds[i] = 0
+	}
+
+	if cap(s.flatSucc) < len(edges) {
+		s.flatSucc = make([]edge, 0, len(edges))
+	}
+	flat := s.flatSucc[:0]
+	for k := 0; k < len(edges); {
+		from := edges[k].From
+		start := len(flat)
+		for k < len(edges) && edges[k].From == from {
+			e := &edges[k]
+			flat = append(flat, edge{e.To, e.Lat})
+			g.npreds[e.To]++
+			k++
+		}
+		g.succs[from] = flat[start:len(flat):len(flat)]
+	}
+	s.flatSucc = flat
 
 	// Heights for the scheduling priority (critical path).
 	for i := n - 1; i >= 0; i-- {
@@ -51,5 +89,5 @@ func buildDDG(nodes []node, mc machine.Config) *ddg {
 		}
 		g.height[i] = h
 	}
-	return g
+	return g, edges
 }

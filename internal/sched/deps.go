@@ -78,6 +78,44 @@ type DepItem struct {
 	LiveOut RegSet
 }
 
+// pooledEdge is one dependence edge in the per-source singly-linked
+// edge lists (head indices into a shared backing slice). Dependence
+// graphs are built once per block on every compile, and a per-node
+// append-and-grow slice pattern dominated the cost of the whole
+// computation.
+type pooledEdge struct {
+	edge DepEdge
+	next int32 // index into pool, -1 ends the list
+}
+
+// useLink is one entry of the per-register "uses since last def" lists,
+// pooled the same way as edges so tracking uses allocates nothing.
+type useLink struct {
+	idx  int32 // item index of the use
+	next int32 // index into usePool, -1 ends the list
+}
+
+// depScratch holds the dense working state of one dependence
+// computation so repeated computations (one per superblock per
+// compile) reuse every table. Registers index two flat arrays: the
+// architected file occupies [0, ir.PhysRegs) and the superblock's
+// virtual window — renaming allocates virtuals contiguously per
+// procedure — maps r to PhysRegs+(r-minVirt). That replaces the
+// lastDef/lastUses maps of the original implementation with O(1)
+// array loads on the hottest path of the whole compiler.
+type depScratch struct {
+	heads   []int32      // per-item edge list head (into pool)
+	toFinal []int32      // per-item: pool index of its edge to the final item, -1 if none
+	pool    []pooledEdge // edge backing storage
+	lastDef []int32      // per dense register: last defining item, -1 if none
+	useHead []int32      // per dense register: head of use list (into usePool), -1 if none
+	usePool []useLink    // use-list backing storage
+	uses    []ir.Reg     // flattened uses of every item
+	useOff  []int32      // item i's uses are uses[useOff[i]:useOff[i+1]]
+	loads   []int32      // loads since the last store
+	out     []DepEdge    // output buffer, reused across calls
+}
+
 // Dependences computes the scheduling dependences over items:
 //
 //   - register RAW/WAR/WAW edges (renaming removes most WAR/WAW);
@@ -95,34 +133,106 @@ type DepItem struct {
 // (From < To), so item order is a topological order. Parallel edges
 // between one (From, To) pair are merged, keeping the strongest
 // (largest-latency) constraint and the kind that first established it.
+//
+// The result is grouped by From in increasing order, insertion order
+// within each group — a contract the golden tests pin and the DDG
+// builder relies on.
 func Dependences(items []DepItem, mc machine.Config) []DepEdge {
+	var s depScratch
+	out := s.dependences(items, mc)
+	// The scratch dies here; hand the caller its own copy-free slice.
+	s.out = nil
+	return out
+}
+
+// dependences is the scratch-backed engine behind Dependences. The
+// returned slice aliases s.out and is valid until the next call on s.
+func (s *depScratch) dependences(items []DepItem, mc machine.Config) []DepEdge {
 	n := len(items)
-	// Edges live in one pooled singly-linked list per source node
-	// (head indices into a shared backing slice) instead of a slice
-	// per node: dependence graphs are built once per block on every
-	// compile, and the per-node append-and-grow pattern dominated the
-	// cost of the whole computation.
-	type pooledEdge struct {
-		edge DepEdge
-		next int32 // index into pool, -1 ends the list
+	if n == 0 {
+		return s.out[:0]
 	}
-	heads := make([]int32, n)
-	for i := range heads {
-		heads[i] = -1
+
+	// Pass 0: flatten every item's uses (exits additionally "use" their
+	// live-out set) and find the virtual register window so virtuals
+	// index the dense tables contiguously after the architected file.
+	uses := s.uses[:0]
+	useOff := i32buf(&s.useOff, n+1)
+	minVirt, maxVirt := ir.Reg(-1), ir.Reg(-1)
+	note := func(r ir.Reg) {
+		if r >= ir.VirtBase {
+			if minVirt < 0 || r < minVirt {
+				minVirt = r
+			}
+			if r > maxVirt {
+				maxVirt = r
+			}
+		}
 	}
-	pool := make([]pooledEdge, 0, 8*n)
+	for i := range items {
+		it := &items[i]
+		useOff[i] = int32(len(uses))
+		uses = it.Ins.Uses(uses)
+		if it.IsExit {
+			it.LiveOut.ForEach(func(r ir.Reg) { uses = append(uses, r) })
+		}
+		for _, u := range uses[useOff[i]:] {
+			note(u)
+		}
+		if it.Ins.HasDst() {
+			note(it.Ins.Dst)
+		}
+	}
+	useOff[n] = int32(len(uses))
+	s.uses = uses
+
+	nRegs := ir.PhysRegs
+	if minVirt >= 0 {
+		nRegs += int(maxVirt-minVirt) + 1
+	}
+	regIndex := func(r ir.Reg) int32 {
+		if r < ir.VirtBase {
+			return int32(r)
+		}
+		return int32(ir.PhysRegs) + int32(r-minVirt)
+	}
+
+	heads := i32fill(&s.heads, n, -1)
+	toFinal := i32fill(&s.toFinal, n, -1)
+	lastDef := i32fill(&s.lastDef, nRegs, -1)
+	useHead := i32fill(&s.useHead, nRegs, -1)
+	pool := s.pool[:0]
+	usePool := s.usePool[:0]
+	loads := s.loads[:0]
+
+	final := n - 1
 	nEdges := 0
 	addEdge := func(from, to int, lat int32, kind DepKind) {
 		if from == to || from > to {
 			return
 		}
-		for j := heads[from]; j >= 0; j = pool[j].next {
-			if pool[j].edge.To == to {
+		if to == final {
+			// Fast path: every item eventually gets an edge to the
+			// final item, so the "everything before the final" pass —
+			// and every earlier edge to the terminator — would turn
+			// the dedupe scan quadratic on exit-heavy superblocks.
+			// One slot per node makes it O(1).
+			if j := toFinal[from]; j >= 0 {
 				if lat > pool[j].edge.Lat {
 					pool[j].edge.Lat = lat
 					pool[j].edge.Kind = kind
 				}
 				return
+			}
+		} else {
+			for j := heads[from]; j >= 0; j = pool[j].next {
+				if pool[j].edge.To == to {
+					if lat > pool[j].edge.Lat {
+						pool[j].edge.Lat = lat
+						pool[j].edge.Kind = kind
+					}
+					return
+				}
 			}
 		}
 		pool = append(pool, pooledEdge{
@@ -130,44 +240,43 @@ func Dependences(items []DepItem, mc machine.Config) []DepEdge {
 			next: heads[from],
 		})
 		heads[from] = int32(len(pool) - 1)
+		if to == final {
+			toFinal[from] = heads[from]
+		}
 		nEdges++
 	}
 
-	lastDef := map[ir.Reg]int{}
-	lastUses := map[ir.Reg][]int{}
 	lastStore := -1
-	var loadsSinceStore []int
 	lastCall := -1
 	lastEmit := -1
 	lastExit := -1
-	var usesBuf []ir.Reg
 
 	for i := range items {
 		it := &items[i]
 		op := it.Ins.Op
 
-		// Register uses (exits additionally "use" their live-out set).
-		usesBuf = it.Ins.Uses(usesBuf[:0])
-		if it.IsExit {
-			it.LiveOut.ForEach(func(r ir.Reg) { usesBuf = append(usesBuf, r) })
-		}
-		for _, u := range usesBuf {
-			if d, ok := lastDef[u]; ok {
-				addEdge(d, i, mc.Latency(items[d].Ins.Op), DepRAW)
+		// Register uses.
+		for _, u := range uses[useOff[i]:useOff[i+1]] {
+			ri := regIndex(u)
+			if d := lastDef[ri]; d >= 0 {
+				addEdge(int(d), i, mc.Latency(items[d].Ins.Op), DepRAW)
 			}
-			lastUses[u] = append(lastUses[u], i)
+			usePool = append(usePool, useLink{idx: int32(i), next: useHead[ri]})
+			useHead[ri] = int32(len(usePool) - 1)
 		}
-		// Register def.
+		// Register def. The use list is most-recent-first; WAR edges
+		// from distinct sources land in distinct per-From lists and
+		// duplicates dedupe, so flush order does not change the output.
 		if it.Ins.HasDst() {
-			r := it.Ins.Dst
-			for _, u := range lastUses[r] {
-				addEdge(u, i, 0, DepWAR) // may share a cycle, program order wins
+			ri := regIndex(it.Ins.Dst)
+			for j := useHead[ri]; j >= 0; j = usePool[j].next {
+				addEdge(int(usePool[j].idx), i, 0, DepWAR) // may share a cycle, program order wins
 			}
-			if d, ok := lastDef[r]; ok {
-				addEdge(d, i, 1, DepWAW) // strictly later cycle
+			if d := lastDef[ri]; d >= 0 {
+				addEdge(int(d), i, 1, DepWAW) // strictly later cycle
 			}
-			lastDef[r] = i
-			lastUses[r] = lastUses[r][:0]
+			lastDef[ri] = int32(i)
+			useHead[ri] = -1
 		}
 
 		// Memory and side-effect ordering.
@@ -180,19 +289,19 @@ func Dependences(items []DepItem, mc machine.Config) []DepEdge {
 			if lastCall >= 0 {
 				addEdge(lastCall, i, 1, DepMem)
 			}
-			loadsSinceStore = append(loadsSinceStore, i)
+			loads = append(loads, int32(i))
 		case op == ir.OpStore || isCall:
 			if lastStore >= 0 {
 				addEdge(lastStore, i, 1, DepMem)
 			}
-			for _, l := range loadsSinceStore {
-				addEdge(l, i, 0, DepMem)
+			for _, l := range loads {
+				addEdge(int(l), i, 0, DepMem)
 			}
 			if lastCall >= 0 {
 				addEdge(lastCall, i, 1, DepMem)
 			}
 			lastStore = i
-			loadsSinceStore = loadsSinceStore[:0]
+			loads = loads[:0]
 			if isCall {
 				lastCall = i
 			}
@@ -234,12 +343,18 @@ func Dependences(items []DepItem, mc machine.Config) []DepEdge {
 			addEdge(i, nextExit, 0, DepControl)
 		}
 	}
-	final := n - 1
 	for i := 0; i < final; i++ {
 		addEdge(i, final, 0, DepControl)
 	}
 
-	out := make([]DepEdge, 0, nEdges)
+	s.pool = pool
+	s.usePool = usePool
+	s.loads = loads
+
+	out := s.out[:0]
+	if cap(out) < nEdges {
+		out = make([]DepEdge, 0, nEdges)
+	}
 	for _, h := range heads {
 		// Lists are most-recent-first; reverse each node's run so the
 		// result keeps insertion order, exactly as the slice-per-node
@@ -252,5 +367,6 @@ func Dependences(items []DepItem, mc machine.Config) []DepEdge {
 			out[i], out[j] = out[j], out[i]
 		}
 	}
+	s.out = out
 	return out
 }

@@ -84,7 +84,7 @@ func TestBuildDDGAgreesWithDependences(t *testing.T) {
 		nodes[i] = node{ins: it.Ins, isExit: it.IsExit, liveOut: it.LiveOut}
 	}
 	mc := machine.Default()
-	g := buildDDG(nodes, mc)
+	g, _ := buildDDG(nodes, mc, newScratch())
 	edges := Dependences(items, mc)
 
 	var flat []DepEdge

@@ -1,0 +1,259 @@
+package sched
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"pathsched/internal/ir"
+	"pathsched/internal/machine"
+)
+
+// randItems generates a random linear scheduling region mixing
+// architectural and virtual registers, loads, stores, emits, and exit
+// branches with random live-out sets — the full vocabulary the
+// dependence rules discriminate on. The final item is always an exit
+// (as in every real region).
+func randItems(rng *rand.Rand, n int) []DepItem {
+	items := make([]DepItem, 0, n)
+	reg := func() ir.Reg {
+		if rng.Intn(3) == 0 {
+			return ir.VirtBase + ir.Reg(rng.Intn(12))
+		}
+		return ir.Reg(rng.Intn(16))
+	}
+	randLiveOut := func() RegSet {
+		var s RegSet
+		for k := 0; k < 4; k++ {
+			s.Add(ir.Reg(rng.Intn(ir.PhysRegs)))
+		}
+		return s
+	}
+	for i := 0; i < n-1; i++ {
+		var it DepItem
+		switch rng.Intn(8) {
+		case 0:
+			it.Ins = ir.Load(reg(), reg(), int64(rng.Intn(8)))
+			it.Ins.Spec = rng.Intn(2) == 0
+		case 1:
+			it.Ins = ir.Store(reg(), int64(rng.Intn(8)), reg())
+		case 2:
+			it.Ins = ir.Emit(reg())
+		case 3:
+			it.Ins = ir.Br(reg(), 1, 2)
+			it.IsExit = true
+			it.LiveOut = randLiveOut()
+		case 4:
+			it.Ins = ir.MovI(reg(), int64(rng.Intn(100)))
+		case 5:
+			it.Ins = ir.Mul(reg(), reg(), reg())
+		default:
+			it.Ins = ir.Add(reg(), reg(), reg())
+		}
+		items = append(items, it)
+	}
+	fin := DepItem{Ins: ir.Ret(reg()), IsExit: true, LiveOut: randLiveOut()}
+	items = append(items, fin)
+	return items
+}
+
+// randNodes is randItems reshaped into scheduler nodes, with units
+// assigned in nondecreasing order as merging would.
+func randNodes(rng *rand.Rand, n int) []node {
+	items := randItems(rng, n)
+	nodes := make([]node, len(items))
+	unit := 0
+	for i, it := range items {
+		nodes[i] = node{ins: it.Ins, unit: unit, isExit: it.IsExit, liveOut: it.LiveOut}
+		if it.IsExit {
+			unit++
+		}
+	}
+	return nodes
+}
+
+// The dense allocation-free dependence computation must produce the
+// exact edge slice — same edges, same order — as the reference
+// map-based implementation it replaced, including across scratch
+// reuse (stale tables from a previous, larger region must not leak).
+func TestDependencesFastMatchesReference(t *testing.T) {
+	mc := machine.Default()
+	var s depScratch // reused across all iterations, like one compile worker
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 500; iter++ {
+		n := 1 + rng.Intn(60)
+		items := randItems(rng, n)
+		got := s.dependences(items, mc)
+		want := refDependences(items, mc)
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("iter %d (n=%d): fast dependences diverge\n got: %v\nwant: %v", iter, n, got, want)
+		}
+	}
+}
+
+// The public wrapper must match too (it owns a fresh scratch).
+func TestDependencesWrapperMatchesReference(t *testing.T) {
+	mc := machine.Default()
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 50; iter++ {
+		items := randItems(rng, 1+rng.Intn(40))
+		got, want := Dependences(items, mc), refDependences(items, mc)
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("iter %d: Dependences diverges from reference", iter)
+		}
+	}
+}
+
+// The incremental rank/bitset list scheduler must produce bit-identical
+// cycle assignments and spans to the reference per-cycle-sort
+// implementation, over the same graphs, with scratch reuse.
+func TestListScheduleFastMatchesReference(t *testing.T) {
+	mc := machine.Default()
+	s := newScratch()
+	rng := rand.New(rand.NewSource(13))
+	for iter := 0; iter < 500; iter++ {
+		nodes := randNodes(rng, 1+rng.Intn(60))
+		gFast, edgesFast := buildDDG(nodes, mc, s)
+		gRef, edgesRef := refBuildDDG(nodes, mc)
+		if !reflect.DeepEqual(edgesFast, edgesRef) && (len(edgesFast) != 0 || len(edgesRef) != 0) {
+			t.Fatalf("iter %d: buildDDG edges diverge", iter)
+		}
+		if !reflect.DeepEqual(gFast.npreds, gRef.npreds) || !reflect.DeepEqual(gFast.height, gRef.height) {
+			t.Fatalf("iter %d: buildDDG npreds/height diverge", iter)
+		}
+		cyc, span, err := listSchedule(nodes, gFast, mc, s)
+		refCyc, refSpan, refErr := refListSchedule(nodes, gRef, mc)
+		if (err == nil) != (refErr == nil) {
+			t.Fatalf("iter %d: error mismatch: %v vs %v", iter, err, refErr)
+		}
+		if err != nil {
+			continue
+		}
+		if span != refSpan {
+			t.Fatalf("iter %d: span %d vs reference %d", iter, span, refSpan)
+		}
+		for i := range cyc {
+			if cyc[i] != refCyc[i] {
+				t.Fatalf("iter %d: cycle[%d] = %d, reference %d", iter, i, cyc[i], refCyc[i])
+			}
+		}
+	}
+}
+
+// ForEach must enumerate exactly the members, in increasing register
+// order, across both bitset words and at the word boundaries.
+func TestRegSetForEach(t *testing.T) {
+	cases := [][]ir.Reg{
+		{},
+		{0},
+		{63},
+		{64},
+		{127},
+		{0, 63, 64, 127},
+		{3, 5, 62, 65, 100},
+	}
+	rng := rand.New(rand.NewSource(17))
+	for c := 0; c < 20; c++ {
+		var regs []ir.Reg
+		seen := map[ir.Reg]bool{}
+		for k := rng.Intn(20); k > 0; k-- {
+			r := ir.Reg(rng.Intn(ir.PhysRegs))
+			if !seen[r] {
+				seen[r] = true
+				regs = append(regs, r)
+			}
+		}
+		cases = append(cases, regs)
+	}
+	for ci, regs := range cases {
+		var s RegSet
+		want := map[ir.Reg]bool{}
+		for _, r := range regs {
+			s.Add(r)
+			want[r] = true
+		}
+		var got []ir.Reg
+		s.ForEach(func(r ir.Reg) { got = append(got, r) })
+		if len(got) != len(want) {
+			t.Fatalf("case %d: ForEach visited %d regs, want %d", ci, len(got), len(want))
+		}
+		for i, r := range got {
+			if !want[r] {
+				t.Fatalf("case %d: ForEach visited non-member r%d", ci, r)
+			}
+			if i > 0 && got[i-1] >= r {
+				t.Fatalf("case %d: ForEach out of order: r%d before r%d", ci, got[i-1], r)
+			}
+		}
+	}
+}
+
+// benchRegion builds one deterministic large scheduling region for the
+// microbenchmarks — big enough that per-node costs dominate setup.
+func benchRegion(n int) ([]DepItem, []node) {
+	rng := rand.New(rand.NewSource(42))
+	items := randItems(rng, n)
+	nodes := make([]node, len(items))
+	unit := 0
+	for i, it := range items {
+		nodes[i] = node{ins: it.Ins, unit: unit, isExit: it.IsExit, liveOut: it.LiveOut}
+		if it.IsExit {
+			unit++
+		}
+	}
+	return items, nodes
+}
+
+func BenchmarkDependences(b *testing.B) {
+	items, _ := benchRegion(256)
+	mc := machine.Default()
+	var s depScratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.dependences(items, mc)
+	}
+}
+
+func BenchmarkDependencesReference(b *testing.B) {
+	items, _ := benchRegion(256)
+	mc := machine.Default()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		refDependences(items, mc)
+	}
+}
+
+func BenchmarkListSchedule(b *testing.B) {
+	_, nodes := benchRegion(256)
+	mc := machine.Default()
+	s := newScratch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, _ := buildDDG(nodes, mc, s)
+		if _, _, err := listSchedule(nodes, g, mc, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkListScheduleReference(b *testing.B) {
+	_, nodes := benchRegion(256)
+	mc := machine.Default()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, _ := refBuildDDG(nodes, mc)
+		if _, _, err := refListSchedule(nodes, g, mc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

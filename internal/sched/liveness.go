@@ -1,6 +1,10 @@
 package sched
 
-import "pathsched/internal/ir"
+import (
+	"math/bits"
+
+	"pathsched/internal/ir"
+)
 
 // RegSet is a bitset over the 128 architected registers. Virtual
 // registers never cross block boundaries, so block-level liveness only
@@ -44,17 +48,15 @@ func (s *RegSet) Union(o RegSet) bool {
 }
 
 // ForEach calls fn for every member, in increasing register order.
+// Exit live-out sets are walked once per exit per dependence
+// computation, so the index comes from TrailingZeros64 rather than a
+// shift-count loop.
 func (s RegSet) ForEach(fn func(ir.Reg)) {
 	for w := 0; w < len(s); w++ {
-		bits := s[w]
-		for bits != 0 {
-			b := bits & (-bits)
-			idx := 0
-			for bb := b; bb > 1; bb >>= 1 {
-				idx++
-			}
-			fn(ir.Reg(w*64 + idx))
-			bits &^= b
+		word := s[w]
+		for word != 0 {
+			fn(ir.Reg(w*64 + bits.TrailingZeros64(word)))
+			word &= word - 1
 		}
 	}
 }

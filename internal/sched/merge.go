@@ -27,8 +27,40 @@ type node struct {
 // unconditional jumps (and degenerate branches) whose every target is
 // internal disappear entirely — the instruction-count saving that
 // branch target expansion and unrolling buy on real machines.
-func mergeSuperblock(p *ir.Proc, sb *core.Superblock, liveIn []RegSet) ([]node, error) {
-	var nodes []node
+//
+// The node list lives in the scratch, and instruction deep copies go
+// through two bulk arenas (targets, call args) sized exactly up front:
+// per-instruction Clone allocations dominated merge cost. The arenas
+// escape into the installed program, so they are fresh per call — the
+// exact capacities guarantee the appends never reallocate and earlier
+// sub-slices stay valid.
+func mergeSuperblock(p *ir.Proc, sb *core.Superblock, liveIn []RegSet, s *scratch) ([]node, error) {
+	nTargets, nArgs := 0, 0
+	for _, bid := range sb.Blocks {
+		for j := range p.Block(bid).Instrs {
+			ins := &p.Block(bid).Instrs[j]
+			nTargets += len(ins.Targets)
+			nArgs += len(ins.Args)
+		}
+	}
+	targetArena := make([]ir.BlockID, 0, nTargets)
+	argArena := make([]ir.Reg, 0, nArgs)
+	clone := func(ins *ir.Instr) ir.Instr {
+		out := *ins
+		if ins.Targets != nil {
+			start := len(targetArena)
+			targetArena = append(targetArena, ins.Targets...)
+			out.Targets = targetArena[start:len(targetArena):len(targetArena)]
+		}
+		if ins.Args != nil {
+			start := len(argArena)
+			argArena = append(argArena, ins.Args...)
+			out.Args = argArena[start:len(argArena):len(argArena)]
+		}
+		return out
+	}
+
+	nodes := s.merged[:0]
 	for i, bid := range sb.Blocks {
 		b := p.Block(bid)
 		lastBlock := i == len(sb.Blocks)-1
@@ -37,7 +69,7 @@ func mergeSuperblock(p *ir.Proc, sb *core.Superblock, liveIn []RegSet) ([]node, 
 			next = sb.Blocks[i+1]
 		}
 		for j := range b.Instrs {
-			ins := b.Instrs[j].Clone()
+			ins := clone(&b.Instrs[j])
 			isTerm := j == len(b.Instrs)-1
 			if !isTerm {
 				if ins.Op.IsTerminator() {
@@ -96,6 +128,7 @@ func mergeSuperblock(p *ir.Proc, sb *core.Superblock, liveIn []RegSet) ([]node, 
 			nodes = append(nodes, n)
 		}
 	}
+	s.merged = nodes
 	if len(nodes) == 0 {
 		return nil, fmt.Errorf("sched: superblock %d merged to nothing", sb.ID)
 	}

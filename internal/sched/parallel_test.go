@@ -1,0 +1,144 @@
+package sched
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"pathsched/internal/core"
+	"pathsched/internal/interp"
+	"pathsched/internal/ir"
+	"pathsched/internal/ir/irtest"
+	"pathsched/internal/profile"
+)
+
+// Compact's output must be byte-identical — pinned by the structural
+// fingerprint — at every worker count and against the preserved
+// reference compaction path. Run under -race this also proves the
+// worker pool shares nothing it shouldn't.
+func TestCompactWorkerDeterminism(t *testing.T) {
+	progs := map[string]*ir.Program{
+		"hot": hotTrace(300),
+	}
+	for _, seed := range []int64{1, 2, 5, 9} {
+		progs[fmt.Sprintf("rand%d", seed)] = irtest.RandExecProg(seed, 16)
+	}
+	configs := []Options{
+		{Parallelism: 1},
+		{Parallelism: 2},
+		{Parallelism: 8},
+		{Parallelism: 2, RecordDeps: BlockDeps{}},
+		{Reference: true},
+		{Reference: true, Parallelism: 4},
+	}
+	for name, prog := range progs {
+		for _, method := range []core.Method{core.EdgeBased, core.PathBased} {
+			ep := profile.NewEdgeProfiler(prog)
+			pp := profile.NewPathProfiler(prog, profile.PathConfig{})
+			if _, err := interp.Run(prog, interp.Config{Observer: profile.Multi{ep, pp}}); err != nil {
+				t.Fatalf("%s: training run: %v", name, err)
+			}
+			cfg := core.DefaultConfig()
+			cfg.Method = method
+			cfg.Edge, cfg.Path = ep.Profile(), pp.Profile()
+			cfg.MinExecFreq = 2
+			var base ir.Digest
+			for ci, opts := range configs {
+				if opts.RecordDeps != nil {
+					opts.RecordDeps = BlockDeps{} // fresh map per run
+				}
+				res, err := core.Form(prog, cfg)
+				if err != nil {
+					t.Fatalf("%s/%v: Form: %v", name, method, err)
+				}
+				if err := Compact(res, opts); err != nil {
+					t.Fatalf("%s/%v config %d: Compact: %v", name, method, ci, err)
+				}
+				fp := ir.Fingerprint(res.Prog)
+				if ci == 0 {
+					base = fp
+					continue
+				}
+				if fp != base {
+					t.Fatalf("%s/%v: config %+v fingerprint %x differs from workers=1 baseline %x",
+						name, method, opts, fp, base)
+				}
+			}
+		}
+	}
+}
+
+// CompactBasicBlocks schedules every block of every procedure, so it
+// exercises the worker pool on multi-procedure programs; its output
+// must also be independent of worker count and match the reference.
+func TestCompactBasicBlocksWorkerDeterminism(t *testing.T) {
+	for _, seed := range []int64{3, 4, 8} {
+		prog := irtest.RandExecProg(seed, 20)
+		var base ir.Digest
+		configs := []Options{{Parallelism: 1}, {Parallelism: 2}, {Parallelism: 8}, {Reference: true}}
+		for ci, opts := range configs {
+			clone := ir.CloneProgram(prog)
+			if err := CompactBasicBlocks(clone, opts); err != nil {
+				t.Fatalf("seed %d config %d: %v", seed, ci, err)
+			}
+			fp := ir.Fingerprint(clone)
+			if ci == 0 {
+				base = fp
+			} else if fp != base {
+				t.Fatalf("seed %d: config %+v fingerprint differs from workers=1", seed, opts)
+			}
+		}
+	}
+}
+
+// When several procedures fail, Compact must report the error of the
+// lowest-numbered failing procedure, with an identical message, at
+// every worker count — errors may not race.
+func TestCompactErrorDeterminism(t *testing.T) {
+	bd := ir.NewBuilder("bad", 16)
+	// A valid main so only the doctored procedures can fail.
+	mb := bd.Proc("main")
+	m0 := mb.NewBlock()
+	m0.Add(ir.MovI(1, 7))
+	m0.Ret(1)
+	// Two procedures whose superblocks will claim both blocks, putting
+	// the first block's ret mid-superblock — a deterministic merge
+	// error.
+	mkBad := func(name string) (ir.ProcID, []ir.BlockID) {
+		pb := bd.Proc(name)
+		b0, b1 := pb.NewBlock(), pb.NewBlock()
+		b0.Add(ir.MovI(1, 1))
+		b0.Ret(1)
+		b1.Add(ir.MovI(2, 2))
+		b1.Ret(2)
+		return pb.ID(), []ir.BlockID{b0.ID(), b1.ID()}
+	}
+	f1, f1blocks := mkBad("f1")
+	f2, f2blocks := mkBad("f2")
+	prog := bd.Program() // intentionally unverified: b1 is unreachable
+
+	var want string
+	for _, workers := range []int{1, 2, 8} {
+		res := &core.Result{
+			Prog: ir.CloneProgram(prog),
+			Superblocks: map[ir.ProcID][]*core.Superblock{
+				f1: {{ID: 0, Proc: f1, Blocks: f1blocks}},
+				f2: {{ID: 0, Proc: f2, Blocks: f2blocks}},
+			},
+		}
+		err := Compact(res, Options{Parallelism: workers})
+		if err == nil {
+			t.Fatalf("workers=%d: expected merge error, got none", workers)
+		}
+		if workers == 1 {
+			want = err.Error()
+			if got := want; !strings.Contains(got, "f1") || !strings.Contains(got, "mid-superblock") {
+				t.Fatalf("workers=1: error %q does not name the first failing proc", got)
+			}
+			continue
+		}
+		if err.Error() != want {
+			t.Fatalf("workers=%d: error %q differs from serial %q", workers, err.Error(), want)
+		}
+	}
+}

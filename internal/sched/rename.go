@@ -21,18 +21,31 @@ import "pathsched/internal/ir"
 // Renaming never touches the final terminator's destination (a final
 // call must deposit its result in the architectural register its
 // off-superblock continuation reads).
-func rename(p *ir.Proc, nodes []node) []node {
-	cur := map[ir.Reg]ir.Reg{}      // architectural reg -> current name
-	repaired := map[ir.Reg]ir.Reg{} // arch reg -> name it currently holds
+//
+// Both tables are keyed exclusively by architectural registers
+// (formation never introduces virtuals, and repair/renamed values are
+// always virtual), so they live in two dense 128-entry scratch arrays
+// with -1 as the "no entry" sentinel instead of maps. The output goes
+// to the scratch's renamed buffer: the pass can grow the node list
+// with repair copies, so it cannot run in place.
+func rename(p *ir.Proc, nodes []node, s *scratch) []node {
+	cur := &s.cur           // architectural reg -> current name
+	repaired := &s.repaired // arch reg -> name it currently holds
+	for i := range cur {
+		cur[i] = -1
+		repaired[i] = -1
+	}
 
 	nameOf := func(r ir.Reg) ir.Reg {
-		if v, ok := cur[r]; ok {
-			return v
+		if r >= 0 && r < ir.VirtBase {
+			if v := cur[r]; v >= 0 {
+				return v
+			}
 		}
 		return r
 	}
 
-	out := make([]node, 0, len(nodes)+8)
+	out := s.renamed[:0]
 	for i := range nodes {
 		n := nodes[i]
 		final := i == len(nodes)-1
@@ -43,20 +56,21 @@ func rename(p *ir.Proc, nodes []node) []node {
 		// Before an exit, restore every architectural register its
 		// targets may read.
 		if n.isExit {
-			var copies []node
+			unit := n.unit
 			n.liveOut.ForEach(func(r ir.Reg) {
 				want := nameOf(r)
-				have, ok := repaired[r]
-				if !ok {
+				have := repaired[r]
+				if have < 0 {
 					have = r
 				}
 				if want == have {
 					return
 				}
-				copies = append(copies, node{ins: ir.Mov(r, want), unit: n.unit})
+				out = append(out, node{ins: ir.Mov(r, want), unit: unit})
 				repaired[r] = want
 			})
-			out = append(out, copies...)
+			// The exit node itself follows its repair copies; out may
+			// have grown, so re-derive nothing from stale indices.
 		}
 
 		// Move renaming: a copy whose (renamed) source is a virtual
@@ -79,11 +93,12 @@ func rename(p *ir.Proc, nodes []node) []node {
 		} else if n.ins.HasDst() && final {
 			// The final terminator writes the architectural register
 			// directly; forget any stale mapping.
-			delete(cur, n.ins.Dst)
-			delete(repaired, n.ins.Dst)
+			cur[n.ins.Dst] = -1
+			repaired[n.ins.Dst] = -1
 		}
 		out = append(out, n)
 	}
+	s.renamed = out
 	return out
 }
 

@@ -314,7 +314,7 @@ func TestDeadCodeEliminated(t *testing.T) {
 		{ins: ir.Mov(5, ir.VirtBase+1)},  // uses v1
 		{ins: ir.Ret(5), isExit: true},   // terminator
 	}
-	out := eliminateDeadDefs(nodes)
+	out := eliminateDeadDefs(nodes, newScratch())
 	if len(out) != 3 {
 		t.Fatalf("DCE kept %d nodes, want 3", len(out))
 	}

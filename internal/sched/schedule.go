@@ -2,7 +2,7 @@ package sched
 
 import (
 	"fmt"
-	"sort"
+	"math/bits"
 
 	"pathsched/internal/ir"
 	"pathsched/internal/machine"
@@ -34,70 +34,126 @@ func (e *CycleError) Error() string {
 // listSchedule performs top-down cycle scheduling (§2.3): cycle by
 // cycle, the ready instructions with the greatest critical-path height
 // fill the machine's functional units, with at most one control
-// operation per cycle. It returns each node's issue cycle and the
-// total span (makespan) in cycles, or a *CycleError if the dependence
-// graph is cyclic and no legal order exists.
-func listSchedule(nodes []node, g *ddg, mc machine.Config) (cycles []int32, span int32, err error) {
+// operation per cycle. It returns each node's issue cycle (in scratch
+// storage, valid until the next call on s) and the total span
+// (makespan) in cycles, or a *CycleError if the dependence graph is
+// cyclic and no legal order exists.
+//
+// The priority structure is incremental instead of a per-cycle re-sort
+// of the ready list. The scheduling priority (height desc, program
+// order asc) is a *static* total order — heights never change during
+// scheduling — so one counting sort up front assigns every node a rank,
+// and the ready set becomes a bitset over ranks scanned lowest-rank
+// first with TrailingZeros64. Two details keep the issue order
+// bit-identical to the re-sorting scheduler (the tie-break invariant of
+// DESIGN.md §12):
+//
+//   - A ready node whose earliest cycle is still in the future stays in
+//     the bitset and is skipped during the scan, exactly as the old
+//     scheduler re-appended it to the next cycle's list.
+//   - A node becoming ready *during* a cycle's scan must not issue
+//     until the next cycle (the old scheduler appended it behind the
+//     current iteration snapshot). Flooring its earliest cycle to
+//     clock+1 at enable time enforces that without any extra state;
+//     dependence latecomers in the same word as the issuing node are
+//     additionally invisible to the current word snapshot.
+func listSchedule(nodes []node, g *ddg, mc machine.Config, s *scratch) (cycles []int32, span int32, err error) {
 	n := len(nodes)
-	cycles = make([]int32, n)
-	earliest := make([]int32, n)
-	npreds := append([]int(nil), g.npreds...)
-	scheduled := make([]bool, n)
-
-	// ready holds nodes whose predecessors have all issued; they become
-	// eligible once the clock reaches their earliest cycle.
-	var ready []int
+	cycles = i32zero(&s.cycles, n)
+	earliest := i32zero(&s.earliest, n)
+	npreds := i32buf(&s.npreds, n)
 	for i := 0; i < n; i++ {
-		if npreds[i] == 0 {
-			ready = append(ready, i)
+		npreds[i] = int32(g.npreds[i])
+	}
+
+	// Counting sort: rank 0 is the highest height, program order breaks
+	// ties within a height bucket.
+	maxH := int32(0)
+	for _, h := range g.height[:n] {
+		if h > maxH {
+			maxH = h
 		}
 	}
+	cnt := i32zero(&s.hcnt, int(maxH)+2)
+	for _, h := range g.height[:n] {
+		cnt[maxH-h]++
+	}
+	pos := int32(0)
+	for b := range cnt {
+		c := cnt[b]
+		cnt[b] = pos
+		pos += c
+	}
+	perm := i32buf(&s.perm, n)     // rank -> node
+	rankOf := i32buf(&s.rankOf, n) // node -> rank
+	for i := 0; i < n; i++ {
+		b := maxH - g.height[i]
+		perm[cnt[b]] = int32(i)
+		rankOf[i] = cnt[b]
+		cnt[b]++
+	}
+
+	nw := (n + 63) / 64
+	ready := u64zero(&s.ready, nw)
+	readyCount := 0
+	for i := 0; i < n; i++ {
+		if npreds[i] == 0 {
+			r := rankOf[i]
+			ready[r>>6] |= 1 << uint(r&63)
+			readyCount++
+		}
+	}
+
 	remaining := n
 	clock := int32(0)
 	for remaining > 0 {
-		// Eligible now, best (height, program order) first.
-		sort.Slice(ready, func(a, b int) bool {
-			ia, ib := ready[a], ready[b]
-			if ha, hb := g.height[ia], g.height[ib]; ha != hb {
-				return ha > hb
-			}
-			return ia < ib
-		})
-		if len(ready) == 0 {
+		if readyCount == 0 {
 			return nil, 0, &CycleError{Block: ir.NoBlock, Remaining: remaining}
 		}
 		slots := mc.FuncUnits
 		branches := mc.BranchPerCycle
-		var rest []int
-		for _, i := range ready {
-			if slots == 0 || earliest[i] > clock {
-				rest = append(rest, i)
-				continue
-			}
-			isBranch := nodes[i].ins.Op.IsBranch()
-			if isBranch && branches == 0 {
-				rest = append(rest, i)
-				continue
-			}
-			// Issue i at clock.
-			cycles[i] = clock
-			scheduled[i] = true
-			remaining--
-			slots--
-			if isBranch {
-				branches--
-			}
-			for _, e := range g.succs[i] {
-				if t := clock + e.lat; t > earliest[e.to] {
-					earliest[e.to] = t
+	scan:
+		for w := 0; w < nw; w++ {
+			word := ready[w]
+			for word != 0 {
+				tz := bits.TrailingZeros64(word)
+				word &= word - 1
+				i := int(perm[w<<6+tz])
+				if earliest[i] > clock {
+					continue
 				}
-				npreds[e.to]--
-				if npreds[e.to] == 0 {
-					rest = append(rest, e.to)
+				isBranch := nodes[i].ins.Op.IsBranch()
+				if isBranch && branches == 0 {
+					continue
+				}
+				// Issue i at clock.
+				cycles[i] = clock
+				ready[w] &^= 1 << uint(tz)
+				readyCount--
+				remaining--
+				slots--
+				if isBranch {
+					branches--
+				}
+				for _, e := range g.succs[i] {
+					if t := clock + e.lat; t > earliest[e.to] {
+						earliest[e.to] = t
+					}
+					npreds[e.to]--
+					if npreds[e.to] == 0 {
+						if earliest[e.to] <= clock {
+							earliest[e.to] = clock + 1
+						}
+						r := rankOf[e.to]
+						ready[r>>6] |= 1 << uint(r&63)
+						readyCount++
+					}
+				}
+				if slots == 0 {
+					break scan
 				}
 			}
 		}
-		ready = rest
 		clock++
 	}
 	span = 0

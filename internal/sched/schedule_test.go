@@ -27,7 +27,7 @@ func TestListScheduleCycleError(t *testing.T) {
 		npreds: []int{1, 1, 0},
 		height: []int32{1, 1, 0},
 	}
-	_, _, err := listSchedule(nodes, g, machine.Default())
+	_, _, err := listSchedule(nodes, g, machine.Default(), newScratch())
 	if err == nil {
 		t.Fatal("listSchedule on a cyclic DDG returned no error")
 	}
@@ -56,8 +56,8 @@ func TestListScheduleAcyclicOK(t *testing.T) {
 		{ins: ir.Mov(9, 8)},
 		{ins: ir.Ret(9)},
 	}
-	g := buildDDG(nodes, machine.Default())
-	cycles, span, err := listSchedule(nodes, g, machine.Default())
+	g, _ := buildDDG(nodes, machine.Default(), newScratch())
+	cycles, span, err := listSchedule(nodes, g, machine.Default(), newScratch())
 	if err != nil {
 		t.Fatalf("listSchedule: %v", err)
 	}

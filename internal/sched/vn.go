@@ -2,6 +2,16 @@ package sched
 
 import "pathsched/internal/ir"
 
+// vnKey identifies a computed value for local value numbering. gen is
+// the memory generation, so loads only match loads with no intervening
+// store or call.
+type vnKey struct {
+	op   ir.Opcode
+	a, b ir.Reg
+	imm  int64
+	gen  int
+}
+
 // valueNumber performs local value numbering over a *renamed*
 // superblock (§2.3: each superblock undergoes "value numbering and
 // dead-code elimination" before scheduling). After renaming, every
@@ -13,15 +23,15 @@ import "pathsched/internal/ir"
 // the same address with no intervening store or call are redundant.
 // Architectural-register definitions (repair copies, the final
 // terminator) are never candidates — their side effect is the point.
-func valueNumber(nodes []node) []node {
-	type key struct {
-		op   ir.Opcode
-		a, b ir.Reg
-		imm  int64
-		gen  int
-	}
-	table := map[key]ir.Reg{}
-	replace := map[ir.Reg]ir.Reg{}
+//
+// The pass filters nodes in place (the write index never passes the
+// read index) and reuses the scratch's cleared maps, so steady-state
+// it allocates nothing.
+func valueNumber(nodes []node, s *scratch) []node {
+	table := s.vnTable
+	replace := s.vnReplace
+	clear(table)
+	clear(replace)
 	canon := func(r ir.Reg) ir.Reg {
 		if c, ok := replace[r]; ok {
 			return c
@@ -29,7 +39,7 @@ func valueNumber(nodes []node) []node {
 		return r
 	}
 	gen := 0
-	out := make([]node, 0, len(nodes))
+	out := nodes[:0]
 	for i := range nodes {
 		n := nodes[i]
 		rewriteUses(&n.ins, canon)
@@ -41,7 +51,7 @@ func valueNumber(nodes []node) []node {
 		}
 
 		if vnCandidate(&n.ins) {
-			k := key{op: n.ins.Op, a: n.ins.Src1, b: n.ins.Src2, imm: n.ins.Imm}
+			k := vnKey{op: n.ins.Op, a: n.ins.Src1, b: n.ins.Src2, imm: n.ins.Imm}
 			if isCommutative(n.ins.Op) && k.b < k.a {
 				k.a, k.b = k.b, k.a
 			}

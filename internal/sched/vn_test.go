@@ -29,7 +29,7 @@ func TestValueNumberEliminatesRedundantArith(t *testing.T) {
 		{ins: ir.Mov(4, v(2))},
 		{ins: ir.Ret(3), isExit: true},
 	}
-	out := valueNumber(nodes)
+	out := valueNumber(nodes, newScratch())
 	if got := countOps(out, ir.OpAdd); got != 1 {
 		t.Fatalf("adds after VN = %d, want 1", got)
 	}
@@ -51,7 +51,7 @@ func TestValueNumberRespectsStores(t *testing.T) {
 		{ins: ir.Mov(4, v(2))},
 		{ins: ir.Ret(3), isExit: true},
 	}
-	out := valueNumber(nodes)
+	out := valueNumber(nodes, newScratch())
 	if got := countOps(out, ir.OpLoad); got != 2 {
 		t.Fatalf("loads after VN = %d, want 2 (second dup removed, post-store kept)", got)
 	}
@@ -67,7 +67,7 @@ func TestValueNumberRespectsCalls(t *testing.T) {
 		{ins: ir.Mov(4, v(1))},
 		{ins: ir.Ret(3), isExit: true},
 	}
-	out := valueNumber(nodes)
+	out := valueNumber(nodes, newScratch())
 	if got := countOps(out, ir.OpLoad); got != 2 {
 		t.Fatalf("loads after VN = %d, want 2", got)
 	}
@@ -80,7 +80,7 @@ func TestValueNumberSkipsArchDefs(t *testing.T) {
 		{ins: ir.Mov(3, v(0))},
 		{ins: ir.Ret(3), isExit: true},
 	}
-	out := valueNumber(nodes)
+	out := valueNumber(nodes, newScratch())
 	if got := countOps(out, ir.OpMovI); got != 2 {
 		t.Fatalf("movi count after VN = %d, want 2 (arch def kept)", got)
 	}
@@ -93,7 +93,7 @@ func TestValueNumberDistinguishesImmediates(t *testing.T) {
 		{ins: ir.Add(3, v(0), v(1))},
 		{ins: ir.Ret(3), isExit: true},
 	}
-	out := valueNumber(nodes)
+	out := valueNumber(nodes, newScratch())
 	if got := countOps(out, ir.OpAddI); got != 2 {
 		t.Fatalf("addi count = %d, want 2", got)
 	}

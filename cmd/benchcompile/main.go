@@ -80,9 +80,18 @@ type report struct {
 
 	// FingerprintsIdentical records the untimed identity pass: every
 	// benchmark × scheme compiled to the same structural fingerprint
-	// under the reference path and worker counts 1, 2, and 8.
+	// under the reference path and worker counts 1, 2, and 8 (in
+	// -exact mode: under the exact path itself across those counts —
+	// exact schedules legitimately differ from the reference).
 	FingerprintsIdentical bool  `json:"fingerprints_identical"`
 	WorkerCountsVerified  []int `json:"worker_counts_verified"`
+
+	// -exact mode only: the exact arm's times, its cost over the fast
+	// list-scheduling arm (medians of per-trial exact/fast - 1), and
+	// the suite-wide gap accounting.
+	Exact     *armStats       `json:"exact_serial,omitempty"`
+	CostExact float64         `json:"exact_cost_vs_fast,omitempty"`
+	ExactGap  *sched.GapStats `json:"exact_gap,omitempty"`
 
 	WallClockSeconds float64 `json:"wall_clock_seconds"`
 }
@@ -137,6 +146,9 @@ func main() {
 	schemes := flag.String("schemes", "M4,P4", "comma-separated formation schemes (M4 = edge-based unroll 4, P4 = path-based)")
 	depth := flag.Int("depth", 15, "path profile depth in branches")
 	out := flag.String("o", "BENCH_compile.json", "output file")
+	exact := flag.Bool("exact", false, "time exact (branch-and-bound) compiles against the fast list-scheduling arm instead of the five reference arms")
+	exnodes := flag.Int("exactnodes", 0, "exact-search node budget per region (0 = default 32, max 64)")
+	exsearch := flag.Int64("exactsearch", 0, "exact-search step budget per region (0 = default 200000)")
 	flag.Parse()
 
 	names := bench.Names()
@@ -191,6 +203,15 @@ func main() {
 	}
 
 	start := time.Now()
+
+	if *exact {
+		runExactMode(us, rep, sched.ExactConfig{
+			Enabled:      true,
+			NodeBudget:   *exnodes,
+			SearchBudget: *exsearch,
+		}, *trials, *out, start)
+		return
+	}
 
 	// Identity pass (untimed): reference vs fast at workers 1, 2, 8 —
 	// every compile must fingerprint identically.
@@ -292,4 +313,106 @@ func main() {
 		fail(err)
 	}
 	fmt.Printf("wrote %s (wall clock %.1fs)\n", *out, rep.WallClockSeconds)
+}
+
+// runExactMode is the -exact harness: an untimed identity pass pinning
+// exact-mode output (and gap counters) byte-identical across worker
+// counts 1/2/8, then paired trials timing the exact arm against the
+// fast list-scheduling arm — the cost of proving schedules optimal.
+func runExactMode(us *units, rep *report, ecfg sched.ExactConfig, trials int, out string, start time.Time) {
+	gapOf := func(opts sched.Options) *sched.GapStats {
+		gap := &sched.GapStats{}
+		opts.Exact = ecfg
+		opts.GapStats = gap
+		for _, u := range us.list {
+			if _, err := us.compileOne(u, opts); err != nil {
+				fail(err)
+			}
+		}
+		return gap
+	}
+
+	// Identity pass: exact schedules legitimately differ from the list
+	// schedules, so the baseline is the exact arm itself at one worker;
+	// every other worker count must reproduce its bytes and its gap
+	// counters exactly.
+	rep.FingerprintsIdentical = true
+	baseGap := &sched.GapStats{}
+	for _, u := range us.list {
+		res, err := us.compileOne(u, sched.Options{Parallelism: 1, Exact: ecfg, GapStats: baseGap})
+		if err != nil {
+			fail(err)
+		}
+		want := ir.Fingerprint(res.Prog)
+		for _, w := range rep.WorkerCountsVerified {
+			res, err := us.compileOne(u, sched.Options{Parallelism: w, Exact: ecfg})
+			if err != nil {
+				fail(err)
+			}
+			if fp := ir.Fingerprint(res.Prog); fp != want {
+				rep.FingerprintsIdentical = false
+				fmt.Fprintf(os.Stderr, "benchcompile: %s: exact workers=%d fingerprint diverges from serial exact\n", u.name, w)
+			}
+		}
+	}
+	for _, w := range rep.WorkerCountsVerified {
+		if g := gapOf(sched.Options{Parallelism: w}); *g != *baseGap {
+			rep.FingerprintsIdentical = false
+			fmt.Fprintf(os.Stderr, "benchcompile: exact workers=%d gap stats diverge: %+v vs %+v\n", w, *g, *baseGap)
+		}
+	}
+	if !rep.FingerprintsIdentical {
+		fail(fmt.Errorf("exact compaction output depends on worker count"))
+	}
+	rep.ExactGap = baseGap
+	fmt.Printf("identity: %d exact compiles byte-identical across workers %v (%d regions: %d proved, %d bounded, %d improved)\n",
+		len(us.list), rep.WorkerCountsVerified,
+		baseGap.Blocks, baseGap.Proved, baseGap.Bounded, baseGap.Improved)
+
+	runArm := func(opts sched.Options) float64 {
+		runtime.GC()
+		t0 := time.Now()
+		for _, u := range us.list {
+			if _, err := us.compileOne(u, opts); err != nil {
+				fail(err)
+			}
+		}
+		return time.Since(t0).Seconds()
+	}
+
+	rep.Exact = &armStats{}
+	var costs []float64
+	for t := 0; t < trials; t++ {
+		var fast, ex float64
+		if t%2 == 0 {
+			fast = runArm(sched.Options{Parallelism: 1})
+			ex = runArm(sched.Options{Parallelism: 1, Exact: ecfg})
+		} else {
+			ex = runArm(sched.Options{Parallelism: 1, Exact: ecfg})
+			fast = runArm(sched.Options{Parallelism: 1})
+		}
+		rep.Fast.Trials = append(rep.Fast.Trials, fast)
+		rep.Exact.Trials = append(rep.Exact.Trials, ex)
+		costs = append(costs, ex/fast-1)
+		fmt.Printf("trial %d/%d: fast %6.2fs   exact %6.2fs (%+.1f%%)\n",
+			t+1, trials, fast, ex, 100*(ex/fast-1))
+	}
+	rep.Fast.MedianSeconds = median(rep.Fast.Trials)
+	rep.Exact.MedianSeconds = median(rep.Exact.Trials)
+	rep.CostExact = median(costs)
+	rep.WallClockSeconds = time.Since(start).Seconds()
+
+	fmt.Printf("median: fast %.2fs   exact %.2fs (%+.1f%% cost)   list schedules %.2f%% of optimal over %d proved regions\n",
+		rep.Fast.MedianSeconds, rep.Exact.MedianSeconds, 100*rep.CostExact,
+		baseGap.PctOfOptimal(), baseGap.Proved)
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("wrote %s (wall clock %.1fs)\n", out, rep.WallClockSeconds)
 }

@@ -45,8 +45,15 @@ func main() {
 		nocheck   = flag.Bool("nocheck", false, "disable the semantic checker (default: off outside tests)")
 		profstats = flag.Bool("profstats", false, "report per-benchmark training-run statistics (fast-path modes, batch flushes, automaton sizes)")
 		compstats = flag.Bool("compilestats", false, "report per-stage compile wall time (form, compact, check, layout)")
+		exact     = flag.Bool("exact", false, "schedule with the exact branch-and-bound search (falls back to the list schedule above the budgets)")
+		exnodes   = flag.Int("exactnodes", 0, "exact-search node budget per region (0 = default 32, max 64)")
+		exsearch  = flag.Int64("exactsearch", 0, "exact-search step budget per region (0 = default 200000)")
+		gapstats  = flag.Bool("gapstats", false, "report the gap-to-optimal table (implies -exact)")
 	)
 	flag.Parse()
+	if *gapstats {
+		*exact = true
+	}
 
 	checkMode := pipeline.CheckAuto
 	switch {
@@ -77,6 +84,11 @@ func main() {
 		Parallelism:         *jobs,
 		DisableProfileCache: *nocache,
 		Check:               checkMode,
+		Sched: sched.Options{Exact: sched.ExactConfig{
+			Enabled:      *exact,
+			NodeBudget:   *exnodes,
+			SearchBudget: *exsearch,
+		}},
 	})
 
 	var names []string
@@ -138,6 +150,9 @@ func main() {
 	}
 	if show("summary") {
 		fmt.Println(stats.Summary(results))
+	}
+	if *gapstats {
+		fmt.Println(stats.GapTable(results))
 	}
 	if *profstats {
 		printProfStats(results)

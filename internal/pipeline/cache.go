@@ -11,6 +11,7 @@ import (
 	"pathsched/internal/ir"
 	"pathsched/internal/layout"
 	"pathsched/internal/profile"
+	"pathsched/internal/sched"
 )
 
 // Cache is a content-addressed memo of the two expensive steps every
@@ -89,12 +90,15 @@ func (c *Cache) Stats() CacheStats {
 
 // compiled is an immutable compile-cache value: the master program
 // (never handed to callers directly — they clone it), its structural
-// fingerprint (which keys the layout cache without re-hashing), and
-// the formation stats the measurement reports.
+// fingerprint (which keys the layout cache without re-hashing), the
+// formation stats the measurement reports, and — under exact
+// scheduling — the compile's gap accounting (nil otherwise), so cache
+// hits still report gap stats.
 type compiled struct {
 	master *ir.Program
 	fp     ir.Digest
 	stats  core.Stats
+	gap    *sched.GapStats
 }
 
 // layoutProfile is an immutable layout-cache value: the frozen weights

@@ -182,6 +182,12 @@ type Measurement struct {
 	AvgSBSize         float64
 
 	FormStats core.Stats
+
+	// Gap is the list-vs-exact span accounting of the measured build's
+	// compile, present only when Options.Sched.Exact is enabled (the
+	// "% of optimal" table). Cache hits carry the gap computed when the
+	// entry was first compiled.
+	Gap *sched.GapStats `json:"Gap,omitempty"`
 }
 
 // Result bundles all measurements for one benchmark.
@@ -441,7 +447,7 @@ func (r *Runner) formConfig(s Scheme, eprof *profile.EdgeProfile, pprof *profile
 // baseline clones explicitly — so one shared build can feed concurrent
 // scheme compiles. base is prog's precomputed def-before-use baseline
 // (nil when checking is off).
-func (r *Runner) compileWith(prog *ir.Program, base check.Baseline, cfg core.Config, haveCfg bool) (*ir.Program, core.Stats, error) {
+func (r *Runner) compileWith(prog *ir.Program, base check.Baseline, cfg core.Config, haveCfg bool) (*ir.Program, core.Stats, *sched.GapStats, error) {
 	r.stats.compiles.Add(1)
 	// Checked compiles record the scheduler's own dependence edges so
 	// the schedule check consumes them instead of recomputing every
@@ -451,43 +457,50 @@ func (r *Runner) compileWith(prog *ir.Program, base check.Baseline, cfg core.Con
 	if r.check {
 		so.RecordDeps = sched.BlockDeps{}
 	}
+	var gap *sched.GapStats
+	if so.Exact.Enabled {
+		// Gap accounting is private to this compile for the same reason
+		// the recording map is.
+		gap = &sched.GapStats{}
+		so.GapStats = gap
+	}
 	if !haveCfg {
 		bb := ir.CloneProgram(prog)
 		t0 := time.Now()
 		err := sched.CompactBasicBlocks(bb, so)
 		r.stats.compactNS.Add(int64(time.Since(t0)))
 		if err != nil {
-			return nil, core.Stats{}, err
+			return nil, core.Stats{}, nil, err
 		}
 		if err := r.checkCompacted(base, bb, so.RecordDeps); err != nil {
-			return nil, core.Stats{}, err
+			return nil, core.Stats{}, nil, err
 		}
-		return bb, core.Stats{}, nil
+		return bb, core.Stats{}, gap, nil
 	}
 	t0 := time.Now()
 	formed, err := core.Form(prog, cfg)
 	r.stats.formNS.Add(int64(time.Since(t0)))
 	if err != nil {
-		return nil, core.Stats{}, err
+		return nil, core.Stats{}, nil, err
 	}
 	if r.check {
 		t1 := time.Now()
 		err := check.Err("form", check.Superblocks(formed))
 		r.stats.checkNS.Add(int64(time.Since(t1)))
 		if err != nil {
-			return nil, core.Stats{}, err
+			return nil, core.Stats{}, nil, err
 		}
 	}
 	t2 := time.Now()
 	err = sched.Compact(formed, so)
 	r.stats.compactNS.Add(int64(time.Since(t2)))
 	if err != nil {
-		return nil, core.Stats{}, err
+		return nil, core.Stats{}, nil, err
 	}
 	if err := r.checkCompacted(base, formed.Prog, so.RecordDeps); err != nil {
-		return nil, core.Stats{}, err
+		return nil, core.Stats{}, nil, err
 	}
-	return formed.Prog, formed.Stats, nil
+	return formed.Prog, formed.Stats, gap, nil
 }
 
 // checkCompacted gates a compaction result: the emitted schedules must
@@ -545,6 +558,13 @@ func (r *Runner) compileKey(progFP, trainFP ir.Digest, cfg core.Config, haveCfg 
 	w.u64(uint64(r.opts.Sched.Machine.FuncUnits))
 	w.u64(uint64(r.opts.Sched.Machine.BranchPerCycle))
 	w.bool(r.opts.Sched.Machine.Realistic)
+	// Exact-mode compiles produce different schedules (and carry gap
+	// stats), so the normalized exact config is its own key dimension;
+	// normalizing keeps explicit-default and zero configs colliding.
+	ec := r.opts.Sched.Exact.Normalized()
+	w.bool(ec.Enabled)
+	w.u64(uint64(ec.NodeBudget))
+	w.u64(uint64(ec.SearchBudget))
 	// The formation profiles are functions of (training build,
 	// profiling scheme, path parameters); the build is already keyed
 	// above, so scheme and parameters complete the profile identity.
@@ -580,11 +600,11 @@ func (r *Runner) compileKey(progFP, trainFP ir.Digest, cfg core.Config, haveCfg 
 // immutable; callers clone before mutating.
 func (r *Runner) cachedCompile(key ir.Digest, prog *ir.Program, base check.Baseline, cfg core.Config, haveCfg bool) (*compiled, error) {
 	return r.cache.compile(key, func() (*compiled, error) {
-		bin, stats, err := r.compileWith(prog, base, cfg, haveCfg)
+		bin, stats, gap, err := r.compileWith(prog, base, cfg, haveCfg)
 		if err != nil {
 			return nil, err
 		}
-		return &compiled{master: bin, fp: ir.Fingerprint(bin), stats: stats}, nil
+		return &compiled{master: bin, fp: ir.Fingerprint(bin), stats: stats, gap: gap}, nil
 	})
 }
 
@@ -592,11 +612,12 @@ func (r *Runner) cachedCompile(key ir.Digest, prog *ir.Program, base check.Basel
 // gathers the layout weights from a training run of the transformed
 // training build, via the cache when one is configured. It returns a
 // private (mutable) testing binary, the formation stats of its
-// compile, and the layout weights to assign to it.
-func (r *Runner) buildScheme(s Scheme, trainProg, testProg *ir.Program, eprof *profile.EdgeProfile, pprof *profile.PathProfile, keys benchKeys, bases benchBases) (*ir.Program, core.Stats, layout.Input, error) {
+// compile, the layout weights to assign to it, and — under exact
+// scheduling — the testing compile's gap accounting.
+func (r *Runner) buildScheme(s Scheme, trainProg, testProg *ir.Program, eprof *profile.EdgeProfile, pprof *profile.PathProfile, keys benchKeys, bases benchBases) (*ir.Program, core.Stats, layout.Input, *sched.GapStats, error) {
 	cfg, haveCfg, err := r.formConfig(s, eprof, pprof)
 	if err != nil {
-		return nil, core.Stats{}, layout.Input{}, err
+		return nil, core.Stats{}, layout.Input{}, nil, err
 	}
 
 	if !keys.on {
@@ -604,36 +625,36 @@ func (r *Runner) buildScheme(s Scheme, trainProg, testProg *ir.Program, eprof *p
 		// harvest layout weights, then the testing build for
 		// measurement. Formation is deterministic given (CFG, profile),
 		// so both compiles produce the same structure.
-		trainBin, _, err := r.compileWith(trainProg, bases.train, cfg, haveCfg)
+		trainBin, _, _, err := r.compileWith(trainProg, bases.train, cfg, haveCfg)
 		if err != nil {
-			return nil, core.Stats{}, layout.Input{}, fmt.Errorf("train compile: %w", err)
+			return nil, core.Stats{}, layout.Input{}, nil, fmt.Errorf("train compile: %w", err)
 		}
-		testBin, stats, err := r.compileWith(testProg, bases.test, cfg, haveCfg)
+		testBin, stats, gap, err := r.compileWith(testProg, bases.test, cfg, haveCfg)
 		if err != nil {
-			return nil, core.Stats{}, layout.Input{}, fmt.Errorf("test compile: %w", err)
+			return nil, core.Stats{}, layout.Input{}, nil, fmt.Errorf("test compile: %w", err)
 		}
 		if err := checkSameShape(trainBin, testBin); err != nil {
-			return nil, core.Stats{}, layout.Input{}, fmt.Errorf("formed builds diverge: %w", err)
+			return nil, core.Stats{}, layout.Input{}, nil, fmt.Errorf("formed builds diverge: %w", err)
 		}
 		lw, err := r.layoutWeights(trainBin)
 		if err != nil {
-			return nil, core.Stats{}, layout.Input{}, err
+			return nil, core.Stats{}, layout.Input{}, nil, err
 		}
-		return testBin, stats, lw.input(), nil
+		return testBin, stats, lw.input(), gap, nil
 	}
 
 	// Cached path: the same steps, each memoized by content address
 	// and deduplicated across concurrent scheme workers.
 	trainC, err := r.cachedCompile(r.compileKey(keys.train, keys.train, cfg, haveCfg), trainProg, bases.train, cfg, haveCfg)
 	if err != nil {
-		return nil, core.Stats{}, layout.Input{}, fmt.Errorf("train compile: %w", err)
+		return nil, core.Stats{}, layout.Input{}, nil, fmt.Errorf("train compile: %w", err)
 	}
 	testC, err := r.cachedCompile(r.compileKey(keys.test, keys.train, cfg, haveCfg), testProg, bases.test, cfg, haveCfg)
 	if err != nil {
-		return nil, core.Stats{}, layout.Input{}, fmt.Errorf("test compile: %w", err)
+		return nil, core.Stats{}, layout.Input{}, nil, fmt.Errorf("test compile: %w", err)
 	}
 	if err := checkSameShape(trainC.master, testC.master); err != nil {
-		return nil, core.Stats{}, layout.Input{}, fmt.Errorf("formed builds diverge: %w", err)
+		return nil, core.Stats{}, layout.Input{}, nil, fmt.Errorf("formed builds diverge: %w", err)
 	}
 	// Layout weights are keyed by the *formed* training build's
 	// fingerprint: schemes whose configs differ but whose formed
@@ -645,9 +666,9 @@ func (r *Runner) buildScheme(s Scheme, trainProg, testProg *ir.Program, eprof *p
 		return r.layoutWeights(trainC.master)
 	})
 	if err != nil {
-		return nil, core.Stats{}, layout.Input{}, err
+		return nil, core.Stats{}, layout.Input{}, nil, err
 	}
-	return ir.CloneProgram(testC.master), testC.stats, lp.input(), nil
+	return ir.CloneProgram(testC.master), testC.stats, lp.input(), testC.gap, nil
 }
 
 // layoutWeights runs the transformed training build once and returns
@@ -675,7 +696,7 @@ func (r *Runner) layoutWeights(trainBin *ir.Program) (*layoutProfile, error) {
 // are the benchmark's shared pristine builds; runScheme only reads them
 // (compileWith clones), so concurrent scheme runs can share one pair.
 func (r *Runner) runScheme(s Scheme, trainProg, testProg *ir.Program, eprof *profile.EdgeProfile, pprof *profile.PathProfile, ref *interp.Result, keys benchKeys, bases benchBases) (*Measurement, error) {
-	testBin, stats, lin, err := r.buildScheme(s, trainProg, testProg, eprof, pprof, keys, bases)
+	testBin, stats, lin, gap, err := r.buildScheme(s, trainProg, testProg, eprof, pprof, keys, bases)
 	if err != nil {
 		return nil, err
 	}
@@ -710,6 +731,7 @@ func (r *Runner) runScheme(s Scheme, trainProg, testProg *ir.Program, eprof *pro
 		CodeBytes:   testBin.CodeBytes(),
 		SBEntries:   got.SBEntries,
 		FormStats:   stats,
+		Gap:         gap,
 	}
 	if got.SBEntries > 0 {
 		m.AvgBlocksExecuted = float64(got.SBExecuted) / float64(got.SBEntries)

@@ -59,13 +59,23 @@ type Options struct {
 	// Reference selects the seed compaction implementation
 	// (reference.go) — the differential baseline for tests and
 	// cmd/benchcompile. Output is byte-identical to the default path.
+	// Incompatible with Exact (the seed path has no search backend).
 	Reference bool
+	// Exact switches scheduling to the branch-and-bound exact search
+	// (exact.go), falling back to the list schedule above its budgets.
+	Exact ExactConfig
+	// GapStats, when non-nil, accumulates per-region list-vs-exact
+	// span statistics (only meaningful with Exact.Enabled). Written
+	// only after all workers join; callers must not share it across
+	// concurrent Compact calls.
+	GapStats *GapStats
 }
 
 func (o Options) withDefaults() Options {
 	if o.Machine.FuncUnits == 0 {
 		o.Machine = machine.Default()
 	}
+	o.Exact = o.Exact.Normalized()
 	return o
 }
 
@@ -84,6 +94,9 @@ type blockDeps struct {
 // if any) is identical at every worker count.
 func Compact(res *core.Result, opts Options) error {
 	opts = opts.withDefaults()
+	if opts.Reference && opts.Exact.Enabled {
+		return fmt.Errorf("sched: Options.Reference and Options.Exact are mutually exclusive")
+	}
 	prog := res.Prog
 	n := len(prog.Procs)
 	errs := make([]error, n)
@@ -91,9 +104,17 @@ func Compact(res *core.Result, opts Options) error {
 	if opts.RecordDeps != nil {
 		recs = make([][]blockDeps, n)
 	}
+	var gaps []GapStats
+	if opts.GapStats != nil {
+		gaps = make([]GapStats, n)
+	}
 	forEachProc(n, opts.Parallelism, func(i int, s *scratch) {
 		p := prog.Procs[i]
-		rec, err := compactProc(p, res.Superblocks[p.ID], opts, s)
+		var gs *GapStats
+		if gaps != nil {
+			gs = &gaps[i]
+		}
+		rec, err := compactProc(p, res.Superblocks[p.ID], opts, s, gs)
 		if err != nil {
 			errs[i] = err
 			return
@@ -114,6 +135,12 @@ func Compact(res *core.Result, opts Options) error {
 			}
 		}
 	}
+	// Per-procedure gap slots merge in input order after the join, the
+	// same discipline RecordDeps uses, so totals are identical at every
+	// worker count.
+	for i := range gaps {
+		opts.GapStats.Merge(&gaps[i])
+	}
 	if err := ir.Verify(prog); err != nil {
 		return fmt.Errorf("sched: compaction produced invalid IR: %w", err)
 	}
@@ -123,7 +150,7 @@ func Compact(res *core.Result, opts Options) error {
 // compactProc compacts one procedure's superblocks with one worker's
 // scratch, returning the recorded block dependences when recording is
 // on.
-func compactProc(p *ir.Proc, sbs []*core.Superblock, opts Options, s *scratch) ([]blockDeps, error) {
+func compactProc(p *ir.Proc, sbs []*core.Superblock, opts Options, s *scratch, gs *GapStats) ([]blockDeps, error) {
 	live := LiveIn(p)
 	pool := regalloc.FreePool(p)
 	record := opts.RecordDeps != nil
@@ -134,7 +161,7 @@ func compactProc(p *ir.Proc, sbs []*core.Superblock, opts Options, s *scratch) (
 		if opts.Reference {
 			edges, err = refCompactSuperblock(p, sb, live, pool, opts, record)
 		} else {
-			edges, err = compactSuperblock(p, sb, live, pool, opts, s, record)
+			edges, err = compactSuperblock(p, sb, live, pool, opts, s, record, gs)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("sched: %s sb%d: %w", p.Name, sb.ID, err)
@@ -215,7 +242,7 @@ func CompactBasicBlocks(prog *ir.Program, opts Options) error {
 	return Compact(res, opts)
 }
 
-func compactSuperblock(p *ir.Proc, sb *core.Superblock, live []RegSet, pool []ir.Reg, opts Options, s *scratch, record bool) ([]DepEdge, error) {
+func compactSuperblock(p *ir.Proc, sb *core.Superblock, live []RegSet, pool []ir.Reg, opts Options, s *scratch, record bool, gs *GapStats) ([]DepEdge, error) {
 	nodes, err := mergeSuperblock(p, sb, live, s)
 	if err != nil {
 		return nil, err
@@ -227,7 +254,8 @@ func compactSuperblock(p *ir.Proc, sb *core.Superblock, live []RegSet, pool []ir
 	// the original head instructions are saved for restoration.
 	origInstrs := head.Instrs
 	tryRename := !opts.DisableRenaming
-	final, cycles, span, edges, err := scheduleNodes(p, nodes, tryRename, opts, s, record)
+	var gap gapRecord
+	final, cycles, span, edges, err := scheduleNodes(p, nodes, tryRename, opts, s, record, &gap)
 	if err != nil {
 		return nil, tagCycleError(err, p, sb)
 	}
@@ -242,12 +270,16 @@ func compactSuperblock(p *ir.Proc, sb *core.Superblock, live []RegSet, pool []ir
 			if merr != nil {
 				return nil, merr
 			}
-			final, cycles, span, edges, err = scheduleNodes(p, fallback, false, opts, s, record)
+			// The retry overwrites gap: only the kept schedule counts.
+			final, cycles, span, edges, err = scheduleNodes(p, fallback, false, opts, s, record, &gap)
 			if err != nil {
 				return nil, tagCycleError(err, p, sb)
 			}
 			install(head, sb, final, cycles, span)
 		}
+	}
+	if gs != nil {
+		gs.add(gap)
 	}
 	sb.Blocks = sb.Blocks[:1]
 	return edges, nil
@@ -268,8 +300,10 @@ func tagCycleError(err error, p *ir.Proc, sb *core.Superblock) error {
 // returns the nodes in final linear order with their cycles. Node
 // storage and the returned nodes live in the scratch; the cycle slice
 // is fresh (it escapes into the installed block). When record is set,
-// the dependence edges are returned mapped to emitted positions.
-func scheduleNodes(p *ir.Proc, nodes []node, doRename bool, opts Options, s *scratch, record bool) ([]node, []int32, int32, []DepEdge, error) {
+// the dependence edges are returned mapped to emitted positions. Under
+// Options.Exact the branch-and-bound scheduler replaces the list
+// scheduler and gap (when non-nil) receives the region's outcome.
+func scheduleNodes(p *ir.Proc, nodes []node, doRename bool, opts Options, s *scratch, record bool, gap *gapRecord) ([]node, []int32, int32, []DepEdge, error) {
 	if doRename {
 		nodes = rename(p, nodes, s)
 		if !opts.DisableVN {
@@ -282,7 +316,19 @@ func scheduleNodes(p *ir.Proc, nodes []node, doRename bool, opts Options, s *scr
 		nodes = eliminateDeadDefs(nodes, s)
 	}
 	g, edges := buildDDG(nodes, opts.Machine, s)
-	cycles, span, err := listSchedule(nodes, g, opts.Machine, s)
+	var cycles []int32
+	var span int32
+	var err error
+	if opts.Exact.Enabled {
+		var listSpan int32
+		var status exactStatus
+		cycles, span, listSpan, status, err = exactSchedule(nodes, g, opts.Machine, opts.Exact, s)
+		if err == nil && gap != nil {
+			*gap = gapRecord{valid: true, status: status, listSpan: listSpan, exactSpan: span}
+		}
+	} else {
+		cycles, span, err = listSchedule(nodes, g, opts.Machine, s)
+	}
 	if err != nil {
 		return nil, nil, 0, nil, err
 	}

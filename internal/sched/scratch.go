@@ -64,6 +64,16 @@ type scratch struct {
 	order    []int32
 	finalPos []int32
 	exits    []int32
+
+	// exact-search state (exact.go). exBest holds the incumbent
+	// schedule and survives the listSchedule call that seeds it; the
+	// memo map is reused via clear() like the VN tables.
+	exBest  []int32
+	exCyc   []int32
+	exEst   []int32
+	exNpred []int32
+	exUndo  []estUndo
+	exMemo  map[exactKey]int32
 }
 
 func newScratch() *scratch {

@@ -1,0 +1,57 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"pathsched/internal/pipeline"
+	"pathsched/internal/sched"
+)
+
+// gapResults fabricates an exact-mode run: one benchmark with gap data
+// on both schemes, one with data on M4 only (P4 came from a pre-exact
+// cache, say), and one with none at all (its row must vanish).
+func gapResults() []*pipeline.Result {
+	mk := func(name string, gaps map[pipeline.Scheme]*sched.GapStats) *pipeline.Result {
+		r := &pipeline.Result{Name: name, ByScheme: map[pipeline.Scheme]*pipeline.Measurement{}}
+		for _, s := range []pipeline.Scheme{pipeline.SchemeM4, pipeline.SchemeP4} {
+			r.ByScheme[s] = &pipeline.Measurement{Scheme: s, Gap: gaps[s]}
+		}
+		return r
+	}
+	return []*pipeline.Result{
+		mk("aaa", map[pipeline.Scheme]*sched.GapStats{
+			pipeline.SchemeM4: {Blocks: 10, Proved: 8, Bounded: 2, BoundedSearch: 1, Improved: 3, ListSpan: 100, ExactSpan: 95},
+			pipeline.SchemeP4: {Blocks: 12, Proved: 12, Improved: 0, ListSpan: 80, ExactSpan: 80},
+		}),
+		mk("bbb", map[pipeline.Scheme]*sched.GapStats{
+			pipeline.SchemeM4: {Blocks: 5, Proved: 4, Bounded: 1, Improved: 1, ListSpan: 60, ExactSpan: 57},
+		}),
+		mk("ccc", nil),
+	}
+}
+
+// The gap table is part of the experiment surface (-gapstats); pin its
+// exact rendering, bounded counts included, so accounting or format
+// drift is a deliberate change.
+func TestGapTableGolden(t *testing.T) {
+	got := GapTable(gapResults())
+	want := strings.Join([]string{
+		"Gap to optimal: list-scheduler span as % of exact (branch-and-bound) span",
+		"bench         M4    proved/bounded/impr      P4    proved/bounded/impr",
+		"aaa       95.00%            8/   2/   3 100.00%           12/   0/   0",
+		"bbb       95.00%            4/   1/   1       -                      -",
+		"total     95.00%           12/   3/   4 100.00%           12/   0/   0",
+		"",
+	}, "\n")
+	if got != want {
+		t.Fatalf("GapTable drifted.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestGapTableEmpty(t *testing.T) {
+	out := GapTable(fakeResults()) // no Gap fields anywhere
+	if !strings.Contains(out, "no gap data") {
+		t.Fatalf("empty gap table missing placeholder:\n%s", out)
+	}
+}

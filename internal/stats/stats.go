@@ -193,6 +193,63 @@ func MissRates(results []*pipeline.Result) string {
 	return sb.String()
 }
 
+// GapTable renders the gap-to-optimal comparison from an exact-mode
+// run (-gapstats): per benchmark and scheme, the list scheduler's span
+// quality as a percentage of the provably optimal span, summed over
+// the regions the branch-and-bound search completed (proved), plus how
+// many regions fell back to the list schedule (bounded) and how many
+// proved regions the exact schedule strictly improved. 100.0% means
+// every proved region's list schedule was already optimal.
+func GapTable(results []*pipeline.Result) string {
+	schemes := []pipeline.Scheme{pipeline.SchemeM4, pipeline.SchemeP4}
+	var sb strings.Builder
+	sb.WriteString("Gap to optimal: list-scheduler span as % of exact (branch-and-bound) span\n")
+	fmt.Fprintf(&sb, "%-8s", "bench")
+	for _, s := range schemes {
+		fmt.Fprintf(&sb, " %7s %22s", s, "proved/bounded/impr")
+	}
+	sb.WriteString("\n")
+	var tot [2]struct{ list, exact, proved, bounded, improved int64 }
+	rows := 0
+	for _, r := range results {
+		line := fmt.Sprintf("%-8s", r.Name)
+		any := false
+		for i, s := range schemes {
+			m := r.ByScheme[s]
+			if m == nil || m.Gap == nil {
+				line += fmt.Sprintf(" %7s %22s", "-", "-")
+				continue
+			}
+			g := m.Gap
+			line += fmt.Sprintf(" %6.2f%% %12d/%4d/%4d", g.PctOfOptimal(), g.Proved, g.Bounded, g.Improved)
+			tot[i].list += g.ListSpan
+			tot[i].exact += g.ExactSpan
+			tot[i].proved += g.Proved
+			tot[i].bounded += g.Bounded
+			tot[i].improved += g.Improved
+			any = true
+		}
+		if any {
+			sb.WriteString(line + "\n")
+			rows++
+		}
+	}
+	if rows == 0 {
+		sb.WriteString("(no gap data: run with exact scheduling enabled)\n")
+		return sb.String()
+	}
+	fmt.Fprintf(&sb, "%-8s", "total")
+	for i := range schemes {
+		pct := 100.0
+		if tot[i].list > 0 {
+			pct = 100 * float64(tot[i].exact) / float64(tot[i].list)
+		}
+		fmt.Fprintf(&sb, " %6.2f%% %12d/%4d/%4d", pct, tot[i].proved, tot[i].bounded, tot[i].improved)
+	}
+	sb.WriteString("\n")
+	return sb.String()
+}
+
 // Summary prints the headline comparison: geometric-mean normalized
 // cycles of each scheme vs M4, ideal and with cache.
 func Summary(results []*pipeline.Result) string {

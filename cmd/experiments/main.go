@@ -43,6 +43,8 @@ func main() {
 		nocache   = flag.Bool("nocache", false, "disable the compile/layout-profile cache")
 		docheck   = flag.Bool("check", false, "run the semantic checker after every pipeline stage")
 		nocheck   = flag.Bool("nocheck", false, "disable the semantic checker (default: off outside tests)")
+		dovalid   = flag.Bool("validate", false, "prove every compile semantically equivalent to its pristine IR and report the verdict table")
+		novalid   = flag.Bool("novalidate", false, "disable translation validation (default: off outside tests)")
 		profstats = flag.Bool("profstats", false, "report per-benchmark training-run statistics (fast-path modes, batch flushes, automaton sizes)")
 		compstats = flag.Bool("compilestats", false, "report per-stage compile wall time (form, compact, check, layout)")
 		exact     = flag.Bool("exact", false, "schedule with the exact branch-and-bound search (falls back to the list schedule above the budgets)")
@@ -65,9 +67,19 @@ func main() {
 	case *nocheck:
 		checkMode = pipeline.CheckOff
 	}
+	validateMode := pipeline.ValidateAuto
+	switch {
+	case *dovalid && *novalid:
+		fmt.Fprintln(os.Stderr, "experiments: -validate and -novalidate are mutually exclusive")
+		os.Exit(2)
+	case *dovalid:
+		validateMode = pipeline.ValidateOn
+	case *novalid:
+		validateMode = pipeline.ValidateOff
+	}
 
 	if *ablate {
-		runAblations(*benches, *jobs, *cstats, *nocache, checkMode)
+		runAblations(*benches, *jobs, *cstats, *nocache, checkMode, validateMode)
 		return
 	}
 
@@ -84,6 +96,7 @@ func main() {
 		Parallelism:         *jobs,
 		DisableProfileCache: *nocache,
 		Check:               checkMode,
+		Validate:            validateMode,
 		Sched: sched.Options{Exact: sched.ExactConfig{
 			Enabled:      *exact,
 			NodeBudget:   *exnodes,
@@ -154,6 +167,9 @@ func main() {
 	if *gapstats {
 		fmt.Println(stats.GapTable(results))
 	}
+	if *dovalid {
+		fmt.Println(stats.ValidationTable(results))
+	}
 	if *profstats {
 		printProfStats(results)
 	}
@@ -171,6 +187,7 @@ func printCompileStats(cs pipeline.CompileStats) {
 	fmt.Printf("  %-8s %8.3fs\n", "form", cs.FormSeconds)
 	fmt.Printf("  %-8s %8.3fs\n", "compact", cs.CompactSeconds)
 	fmt.Printf("  %-8s %8.3fs\n", "check", cs.CheckSeconds)
+	fmt.Printf("  %-8s %8.3fs\n", "validate", cs.ValidateSeconds)
 	fmt.Printf("  %-8s %8.3fs\n", "layout", cs.LayoutSeconds)
 }
 
@@ -232,7 +249,7 @@ func printProfStats(results []*pipeline.Result) {
 // All configurations share one content-addressed cache, so configs
 // that resolve to identical formation inputs (depth=15 vs baseline)
 // collapse to one compile and one layout-profiling run per benchmark.
-func runAblations(benches string, jobs int, cstats, nocache bool, checkMode pipeline.CheckMode) {
+func runAblations(benches string, jobs int, cstats, nocache bool, checkMode pipeline.CheckMode, validateMode pipeline.ValidateMode) {
 	names := []string{"alt", "ph", "corr", "wc", "eqn", "m88k"}
 	if benches != "" {
 		names = strings.Split(benches, ",")
@@ -267,6 +284,7 @@ func runAblations(benches string, jobs int, cstats, nocache bool, checkMode pipe
 		c.opts.ProfileCache = shared
 		c.opts.DisableProfileCache = nocache
 		c.opts.Check = checkMode
+		c.opts.Validate = validateMode
 		runner := pipeline.NewRunner(c.opts)
 		results, err := runner.RunSuite(names, []pipeline.Scheme{pipeline.SchemeM4, pipeline.SchemeP4})
 		if err != nil {

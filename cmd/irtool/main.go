@@ -10,6 +10,8 @@
 //	irtool check wc.ir                       # semantic checks (def-before-use, schedules)
 //	irtool check -edge e.prof -path p.prof wc.ir   # + profile flow conservation
 //	irtool run wc.ir
+//	irtool validate -scheme P4 wc.ir         # compile + prove equivalence
+//	irtool validate -bench wc                # same, all five schemes
 //	irtool paths -top 10 wc.ir               # hottest general paths
 //	irtool profile -edge e.prof -path p.prof wc.ir   # save profiles
 //	irtool compile -scheme P4 -edge e.prof -path p.prof wc.ir > wc.p4.ir
@@ -30,6 +32,7 @@ import (
 	"pathsched/internal/ir"
 	"pathsched/internal/machine"
 	"pathsched/internal/profile"
+	"pathsched/internal/validate"
 
 	root "pathsched"
 )
@@ -48,6 +51,8 @@ func main() {
 		checkCmd(args)
 	case "run":
 		run(args)
+	case "validate":
+		validateCmd(args)
 	case "paths":
 		paths(args)
 	case "profile":
@@ -64,7 +69,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: irtool {dump|verify|check|run|paths|profile|compile|dot|trace} [flags] [file.ir]")
+	fmt.Fprintln(os.Stderr, "usage: irtool {dump|verify|check|run|validate|paths|profile|compile|dot|trace} [flags] [file.ir]")
 	os.Exit(2)
 }
 
@@ -263,6 +268,73 @@ func run(args []string) {
 	fmt.Printf("cycles   %d\n", res.Cycles)
 	fmt.Printf("instrs   %d\n", res.DynInstrs)
 	fmt.Printf("branches %d\n", res.DynBranches)
+}
+
+// validateCmd compiles a program in-process and proves the result
+// semantically equivalent to the pristine input with the translation
+// validator. Compilation must happen here rather than on a dumped file
+// pair: the textual IR format drops the schedule annotations
+// (Cycles/Units/UnitOrigins) the proof consumes, so validating parsed
+// files could only ever report every procedure bounded.
+func validateCmd(args []string) {
+	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	benchName := fs.String("bench", "", "benchmark to compile and validate (alternative to a file)")
+	scheme := fs.String("scheme", "", "single scheme: BB, M4, M16, P4e, P4 (default: all five)")
+	verbose := fs.Bool("v", false, "print per-procedure verdicts")
+	depthB := fs.Int("depthbudget", 0, "trace blocks co-executed per merged block (0 = default)")
+	pathB := fs.Int("pathbudget", 0, "exit cuts checked per procedure (0 = default)")
+	nodeB := fs.Int("nodebudget", 0, "expression-graph nodes per procedure (0 = default)")
+	_ = fs.Parse(args)
+
+	var pristine, train *ir.Program
+	if *benchName != "" {
+		if len(fs.Args()) != 0 {
+			fatal(fmt.Errorf("validate: -bench and a file are mutually exclusive"))
+		}
+		b := bench.ByName(*benchName)
+		if b == nil {
+			fatal(fmt.Errorf("unknown benchmark %q", *benchName))
+		}
+		pristine, train = b.Build(b.Test), b.Build(b.Train)
+	} else {
+		pristine = loadFile(fs.Args())
+		train = pristine
+	}
+	profs, err := root.ProfileProgram(train)
+	if err != nil {
+		fatal(err)
+	}
+	schemes := root.Schemes()
+	if *scheme != "" {
+		schemes = []root.Scheme{root.Scheme(*scheme)}
+	}
+	opts := validate.Options{DepthBudget: *depthB, PathBudget: *pathB, NodeBudget: *nodeB}
+	bad := false
+	for _, s := range schemes {
+		bin, err := root.Compile(pristine, profs, s)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", s, err))
+		}
+		rep, vs := check.Equiv(pristine, bin, opts)
+		fmt.Printf("%-4s %s\n", s, rep.Stats)
+		if *verbose {
+			for _, pr := range rep.Procs {
+				line := fmt.Sprintf("  %-12s %-8s %d blocks, %d cuts, %d nodes",
+					pr.Proc, pr.Verdict, pr.Blocks, pr.Cuts, pr.Nodes)
+				if pr.Reason != "" {
+					line += " — " + pr.Reason
+				}
+				fmt.Println(line)
+			}
+		}
+		if err := check.Err("validate", vs); err != nil {
+			fmt.Fprintf(os.Stderr, "irtool: %s: %v\n", s, err)
+			bad = true
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
 }
 
 // profileCmd executes the program once, writing edge and/or path

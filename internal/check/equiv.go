@@ -1,0 +1,27 @@
+package check
+
+import (
+	"pathsched/internal/ir"
+	"pathsched/internal/validate"
+)
+
+// Equiv runs the symbolic translation validator over a (pristine,
+// transformed) program pair and reports every semantic divergence as a
+// Violation, alongside the full per-procedure report (verdicts,
+// Bounded reasons, cut counts).
+//
+// It is the semantic counterpart of the structural checks in this
+// package: Schedules and friends verify the transformed program is
+// well-formed and honours dependences and resources; Equiv proves it
+// computes the same thing as the program the pipeline started from. A
+// Bounded verdict produces no Violation — those procedures fall back
+// to the structural checks, and the caller decides whether the
+// explicit Bounded count is acceptable.
+func Equiv(pristine, transformed *ir.Program, opts validate.Options) (*validate.Report, []Violation) {
+	rep := validate.Program(pristine, transformed, opts)
+	var vs []Violation
+	for _, is := range rep.Issues {
+		vs = append(vs, Violation{Proc: is.Proc, Block: is.Block, Instr: is.Instr, Msg: is.Msg})
+	}
+	return rep, vs
+}

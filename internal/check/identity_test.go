@@ -1,0 +1,106 @@
+package check_test
+
+import (
+	"regexp"
+	"testing"
+
+	"pathsched/internal/check"
+	"pathsched/internal/ir"
+	"pathsched/internal/machine"
+	"pathsched/internal/sched"
+	"pathsched/internal/validate"
+)
+
+// Every violation any analysis emits must carry full identity: the
+// procedure always, the block whenever one is at fault (ir.NoBlock
+// otherwise — never a zero-value BlockID masquerading as b0), the
+// instruction index when one is at fault. The rendered form is the
+// uniform `check[stage]: proc "name" [block bN] [instr K]: msg`. This
+// test provokes real violations from several analyses plus the
+// translation validator and pins that contract.
+var renderRE = regexp.MustCompile(`^check\[[a-z]+\]: proc "[^"]+"( block b\d+)?( instr \d+)?: .+`)
+
+func requireIdentity(t *testing.T, analysis string, vs []check.Violation) {
+	t.Helper()
+	if len(vs) == 0 {
+		t.Fatalf("%s produced no violations — test setup broken", analysis)
+	}
+	for _, v := range vs {
+		if v.Proc == "" {
+			t.Errorf("%s violation lacks proc identity: %+v", analysis, v)
+		}
+		v.Stage = "test"
+		if !renderRE.MatchString(v.String()) {
+			t.Errorf("%s violation renders off-format: %s", analysis, v)
+		}
+	}
+}
+
+// undefProg reads a virtual register no path ever writes.
+func undefProg() *ir.Program {
+	bd := ir.NewBuilder("undef", 8)
+	pb := bd.Proc("main")
+	b := pb.NewBlock()
+	b.Add(ir.Add(1, ir.Reg(ir.PhysRegs+10), ir.Reg(ir.PhysRegs+10)))
+	b.Ret(1)
+	return bd.Finish()
+}
+
+func TestDefBeforeUseIdentity(t *testing.T) {
+	prog := undefProg()
+	requireIdentity(t, "DefBeforeUse", check.DefBeforeUse(prog, check.BaselineOf(prog)))
+}
+
+func TestSchedulesIdentity(t *testing.T) {
+	bd := ir.NewBuilder("sched", 8)
+	pb := bd.Proc("main")
+	b := pb.NewBlock()
+	b.Add(ir.MovI(1, 5), ir.Add(2, 1, 1))
+	b.Ret(2)
+	prog := bd.Finish()
+	// A schedule placing a use in the same cycle as its def.
+	blk := prog.Procs[0].Blocks[0]
+	blk.Cycles = []int32{0, 0, 0}
+	blk.Units = []int32{0, 1, 2}
+	requireIdentity(t, "Schedules", check.Schedules(prog, machine.Default()))
+}
+
+func TestEquivIdentity(t *testing.T) {
+	bd := ir.NewBuilder("equiv", 8)
+	pb := bd.Proc("main")
+	b := pb.NewBlock()
+	b.Add(ir.MovI(1, 7), ir.Store(1, 0, 1))
+	b.Ret(1)
+	pristine := bd.Finish()
+	bin := ir.CloneProgram(pristine)
+	if err := sched.CompactBasicBlocks(bin, sched.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	dropped := false
+	for _, blk := range bin.Procs[0].Blocks {
+		for i := range blk.Instrs {
+			if blk.Instrs[i].Op == ir.OpStore {
+				blk.Instrs[i] = ir.Nop()
+				dropped = true
+			}
+		}
+	}
+	if !dropped {
+		t.Fatal("compiled program has no store to drop")
+	}
+	_, vs := check.Equiv(pristine, bin, validate.Options{})
+	requireIdentity(t, "Equiv", vs)
+}
+
+// A proc-level violation must omit the block clause entirely, not
+// render the zero-value BlockID as "block b0".
+func TestProcLevelViolationOmitsBlock(t *testing.T) {
+	v := check.Violation{Stage: "x", Proc: "main", Block: ir.NoBlock, Instr: check.NoInstr, Msg: "m"}
+	if got, want := v.String(), `check[x]: proc "main": m`; got != want {
+		t.Fatalf("proc-level rendering drifted: got %q want %q", got, want)
+	}
+	v.Block, v.Instr = 0, 0
+	if got, want := v.String(), `check[x]: proc "main" block b0 instr 0: m`; got != want {
+		t.Fatalf("block-zero rendering drifted: got %q want %q", got, want)
+	}
+}

@@ -19,6 +19,7 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -382,7 +383,15 @@ func (f *former) edgeFreq(from, to ir.BlockID) int64 {
 // It is exported because integration tests and the pipeline re-check
 // invariants after every transformation step.
 func CheckInvariants(res *Result) error {
-	for pid, sbs := range res.Superblocks {
+	// Sorted procedure order so the first-reported violation is stable
+	// run to run.
+	pids := make([]ir.ProcID, 0, len(res.Superblocks))
+	for pid := range res.Superblocks {
+		pids = append(pids, pid)
+	}
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+	for _, pid := range pids {
+		sbs := res.Superblocks[pid]
 		p := res.Prog.Proc(pid)
 		inSB := map[ir.BlockID]struct {
 			sb  *Superblock

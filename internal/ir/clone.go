@@ -47,6 +47,9 @@ func CloneProgram(prog *Program) *Program {
 			if b.Units != nil {
 				nb.Units = append([]int32(nil), b.Units...)
 			}
+			if b.UnitOrigins != nil {
+				nb.UnitOrigins = append([]BlockID(nil), b.UnitOrigins...)
+			}
 			nb.Instrs = make([]Instr, len(b.Instrs))
 			for k := range b.Instrs {
 				nb.Instrs[k] = b.Instrs[k].Clone()

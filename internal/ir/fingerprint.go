@@ -41,7 +41,7 @@ func (d Digest) Short() string { return hex.EncodeToString(d[:6]) }
 // mutation of the hashed fields changes it (pinned by the fuzz test).
 func Fingerprint(prog *Program) Digest {
 	w := fpWriter{h: sha256.New()}
-	w.str("pathsched-ir-fp-v1")
+	w.str("pathsched-ir-fp-v2")
 	w.str(prog.Name)
 	w.i64(int64(prog.Main))
 	w.i64(prog.MemSize)
@@ -88,6 +88,7 @@ func (w *fpWriter) hashBlock(b *Block) {
 	// SBSize blocks), so presence is part of the encoding.
 	w.i32Slice(b.ExitUnits)
 	w.i32Slice(b.Units)
+	w.blockIDSlice(b.UnitOrigins)
 	w.i32Slice(b.Cycles)
 	w.u64(uint64(len(b.Instrs)))
 	for i := range b.Instrs {
@@ -164,6 +165,18 @@ func (w *fpWriter) str(s string) {
 }
 
 func (w *fpWriter) i32Slice(s []int32) {
+	if s == nil {
+		w.u64(0)
+		return
+	}
+	w.u64(1)
+	w.u64(uint64(len(s)))
+	for _, v := range s {
+		w.i64(int64(v))
+	}
+}
+
+func (w *fpWriter) blockIDSlice(s []BlockID) {
 	if s == nil {
 		w.u64(0)
 		return

@@ -198,6 +198,17 @@ type Block struct {
 	// means unscheduled or unknown.
 	Units []int32
 
+	// UnitOrigins, when non-nil, maps each constituent unit of a merged
+	// superblock (0..SBSize-1) to the id of the *pristine* block the
+	// unit was formed from. Unlike Origin — which compaction remaps
+	// into the renumbered block space after dead blocks are removed —
+	// UnitOrigins is recorded before renumbering and never remapped, so
+	// its values stay valid ids into the untransformed input program.
+	// It is the formation metadata the translation validator
+	// (internal/validate) uses to match each compiled block back to the
+	// original trace it implements. Nil means unscheduled.
+	UnitOrigins []BlockID
+
 	// Schedule annotations filled in by compaction. Cycles[i] is the
 	// machine cycle in which Instrs[i] issues, relative to the start of
 	// the block's superblock (for the first block of a superblock) or

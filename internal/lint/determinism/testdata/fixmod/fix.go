@@ -1,0 +1,83 @@
+// Package fixmod is the determinism-lint test fixture: one offending
+// map range, one annotated on the same line, one annotated the line
+// above, one key collection, and some non-map ranges.
+package fixmod
+
+import "sort"
+
+// Sum iterates a map with nothing excusing it — the lint must flag it.
+func Sum(m map[string]int) string {
+	out := ""
+	for k := range m {
+		out += k
+	}
+	return out
+}
+
+// SumAnnotated carries the same-line annotation.
+func SumAnnotated(m map[string]int) int {
+	t := 0
+	for _, v := range m { //lint:ordered — commutative sum
+		t += v
+	}
+	return t
+}
+
+// SumAnnotatedAbove carries the annotation on the preceding line.
+func SumAnnotatedAbove(m map[string]int) int {
+	t := 0
+	//lint:ordered — commutative sum
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+// Keys collects then sorts — the order-insensitive prelude the lint
+// exempts without annotation.
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Pairs collects both loop variables into slices.
+func Pairs(m map[string]int) ([]string, []int) {
+	var ks []string
+	var vs []int
+	for k, v := range m {
+		ks = append(ks, k)
+		vs = append(vs, v)
+	}
+	return ks, vs
+}
+
+// NonMaps must never be flagged.
+func NonMaps(xs []int, s string, ch chan int) int {
+	t := 0
+	for _, v := range xs {
+		t += v
+	}
+	for range s {
+		t++
+	}
+	for v := range ch {
+		t += v
+	}
+	return t
+}
+
+// NamedMap ranges over a named type whose underlying type is a map —
+// still a finding.
+type counts map[string]int
+
+func (c counts) Render() string {
+	out := ""
+	for k := range c {
+		out += k
+	}
+	return out
+}

@@ -12,6 +12,7 @@ import (
 	"pathsched/internal/layout"
 	"pathsched/internal/profile"
 	"pathsched/internal/sched"
+	"pathsched/internal/validate"
 )
 
 // Cache is a content-addressed memo of the two expensive steps every
@@ -91,14 +92,17 @@ func (c *Cache) Stats() CacheStats {
 // compiled is an immutable compile-cache value: the master program
 // (never handed to callers directly — they clone it), its structural
 // fingerprint (which keys the layout cache without re-hashing), the
-// formation stats the measurement reports, and — under exact
-// scheduling — the compile's gap accounting (nil otherwise), so cache
-// hits still report gap stats.
+// formation stats the measurement reports, and — when the respective
+// gates are enabled — the compile's gap accounting and translation
+// validation stats (nil otherwise), so cache hits still report both.
+// Validation enters the compile key (compileKey), so an entry built
+// without validation can never be returned to a validated run.
 type compiled struct {
 	master *ir.Program
 	fp     ir.Digest
 	stats  core.Stats
 	gap    *sched.GapStats
+	vstats *validate.Stats
 }
 
 // layoutProfile is an immutable layout-cache value: the frozen weights

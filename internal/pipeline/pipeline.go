@@ -53,6 +53,7 @@ import (
 	"pathsched/internal/machine"
 	"pathsched/internal/profile"
 	"pathsched/internal/sched"
+	"pathsched/internal/validate"
 )
 
 // Scheme names follow the paper's figures.
@@ -90,6 +91,22 @@ const (
 	CheckOn
 	// CheckOff never checks.
 	CheckOff
+)
+
+// ValidateMode selects whether the symbolic translation validator
+// (internal/validate) gates each compile.
+type ValidateMode int
+
+const (
+	// ValidateAuto (the zero value) enables validation under `go test`
+	// and disables it otherwise, mirroring CheckAuto: every test run
+	// proves each compile semantically equivalent to its pristine input
+	// at no cost to production measurement runs.
+	ValidateAuto ValidateMode = iota
+	// ValidateOn always validates.
+	ValidateOn
+	// ValidateOff never validates.
+	ValidateOff
 )
 
 // ProfilerScheme selects which path-profiling scheme gathers the
@@ -157,6 +174,15 @@ type Options struct {
 	// when first compiled. Checking is purely observational — it never
 	// changes results, so it deliberately does not enter cache keys.
 	Check CheckMode
+	// Validate gates every compile with the symbolic translation
+	// validator (check.Equiv): each compiled procedure must prove
+	// semantically equivalent to its pristine input, with budget
+	// fallbacks reported as explicit Bounded counts in
+	// Measurement.Validation. Unlike Check, validation enters the
+	// compile-cache key: a cache entry compiled without validation
+	// carries no proof or stats, so validated and unvalidated runs must
+	// not share entries.
+	Validate ValidateMode
 }
 
 // Measurement is one (benchmark, scheme) data point.
@@ -188,6 +214,13 @@ type Measurement struct {
 	// "% of optimal" table). Cache hits carry the gap computed when the
 	// entry was first compiled.
 	Gap *sched.GapStats `json:"Gap,omitempty"`
+
+	// Validation is the translation-validator verdict tally of the
+	// measured build's compile, present only when Options.Validate
+	// resolves on. Cache hits carry the stats recorded when the entry
+	// was first compiled and validated. Excluded from JSON output,
+	// which is pinned to measurement data.
+	Validation *validate.Stats `json:"-"`
 }
 
 // Result bundles all measurements for one benchmark.
@@ -211,17 +244,18 @@ type Result struct {
 // Runner caches per-benchmark training state so several schemes reuse
 // one profiling run.
 type Runner struct {
-	opts  Options
-	cache *Cache // nil when caching is disabled
-	check bool   // resolved CheckMode
-	stats stageStats
+	opts     Options
+	cache    *Cache // nil when caching is disabled
+	check    bool   // resolved CheckMode
+	validate bool   // resolved ValidateMode
+	stats    stageStats
 }
 
 // stageStats accumulates wall time per compile stage across all of a
 // runner's (possibly concurrent) compiles.
 type stageStats struct {
-	formNS, compactNS, checkNS, layoutNS atomic.Int64
-	compiles, layoutRuns                 atomic.Int64
+	formNS, compactNS, checkNS, validateNS, layoutNS atomic.Int64
+	compiles, layoutRuns                             atomic.Int64
 }
 
 // CompileStats reports where a runner's compile time went, summed over
@@ -232,22 +266,24 @@ type CompileStats struct {
 	Compiles   int64 // compileWith invocations (cache misses only, when caching)
 	LayoutRuns int64 // layout-weight training runs
 
-	FormSeconds    float64 // superblock formation
-	CompactSeconds float64 // sched.Compact / CompactBasicBlocks
-	CheckSeconds   float64 // semantic checker gates (0 when checking is off)
-	LayoutSeconds  float64 // layout training runs
+	FormSeconds     float64 // superblock formation
+	CompactSeconds  float64 // sched.Compact / CompactBasicBlocks
+	CheckSeconds    float64 // semantic checker gates (0 when checking is off)
+	ValidateSeconds float64 // translation validation (0 when validation is off)
+	LayoutSeconds   float64 // layout training runs
 }
 
 // CompileStats returns the per-stage compile wall-time counters
 // accumulated so far.
 func (r *Runner) CompileStats() CompileStats {
 	return CompileStats{
-		Compiles:       r.stats.compiles.Load(),
-		LayoutRuns:     r.stats.layoutRuns.Load(),
-		FormSeconds:    float64(r.stats.formNS.Load()) / 1e9,
-		CompactSeconds: float64(r.stats.compactNS.Load()) / 1e9,
-		CheckSeconds:   float64(r.stats.checkNS.Load()) / 1e9,
-		LayoutSeconds:  float64(r.stats.layoutNS.Load()) / 1e9,
+		Compiles:        r.stats.compiles.Load(),
+		LayoutRuns:      r.stats.layoutRuns.Load(),
+		FormSeconds:     float64(r.stats.formNS.Load()) / 1e9,
+		CompactSeconds:  float64(r.stats.compactNS.Load()) / 1e9,
+		CheckSeconds:    float64(r.stats.checkNS.Load()) / 1e9,
+		ValidateSeconds: float64(r.stats.validateNS.Load()) / 1e9,
+		LayoutSeconds:   float64(r.stats.layoutNS.Load()) / 1e9,
 	}
 }
 
@@ -278,6 +314,14 @@ func NewRunner(opts Options) *Runner {
 		r.check = false
 	default:
 		r.check = testing.Testing()
+	}
+	switch opts.Validate {
+	case ValidateOn:
+		r.validate = true
+	case ValidateOff:
+		r.validate = false
+	default:
+		r.validate = testing.Testing()
 	}
 	if !opts.DisableProfileCache {
 		if r.cache = opts.ProfileCache; r.cache == nil {
@@ -447,7 +491,7 @@ func (r *Runner) formConfig(s Scheme, eprof *profile.EdgeProfile, pprof *profile
 // baseline clones explicitly — so one shared build can feed concurrent
 // scheme compiles. base is prog's precomputed def-before-use baseline
 // (nil when checking is off).
-func (r *Runner) compileWith(prog *ir.Program, base check.Baseline, cfg core.Config, haveCfg bool) (*ir.Program, core.Stats, *sched.GapStats, error) {
+func (r *Runner) compileWith(prog *ir.Program, base check.Baseline, cfg core.Config, haveCfg bool) (*ir.Program, core.Stats, *sched.GapStats, *validate.Stats, error) {
 	r.stats.compiles.Add(1)
 	// Checked compiles record the scheduler's own dependence edges so
 	// the schedule check consumes them instead of recomputing every
@@ -470,37 +514,65 @@ func (r *Runner) compileWith(prog *ir.Program, base check.Baseline, cfg core.Con
 		err := sched.CompactBasicBlocks(bb, so)
 		r.stats.compactNS.Add(int64(time.Since(t0)))
 		if err != nil {
-			return nil, core.Stats{}, nil, err
+			return nil, core.Stats{}, nil, nil, err
 		}
 		if err := r.checkCompacted(base, bb, so.RecordDeps); err != nil {
-			return nil, core.Stats{}, nil, err
+			return nil, core.Stats{}, nil, nil, err
 		}
-		return bb, core.Stats{}, gap, nil
+		vstats, err := r.validateCompiled(prog, bb)
+		if err != nil {
+			return nil, core.Stats{}, nil, nil, err
+		}
+		return bb, core.Stats{}, gap, vstats, nil
 	}
 	t0 := time.Now()
 	formed, err := core.Form(prog, cfg)
 	r.stats.formNS.Add(int64(time.Since(t0)))
 	if err != nil {
-		return nil, core.Stats{}, nil, err
+		return nil, core.Stats{}, nil, nil, err
 	}
 	if r.check {
 		t1 := time.Now()
 		err := check.Err("form", check.Superblocks(formed))
 		r.stats.checkNS.Add(int64(time.Since(t1)))
 		if err != nil {
-			return nil, core.Stats{}, nil, err
+			return nil, core.Stats{}, nil, nil, err
 		}
 	}
 	t2 := time.Now()
 	err = sched.Compact(formed, so)
 	r.stats.compactNS.Add(int64(time.Since(t2)))
 	if err != nil {
-		return nil, core.Stats{}, nil, err
+		return nil, core.Stats{}, nil, nil, err
 	}
 	if err := r.checkCompacted(base, formed.Prog, so.RecordDeps); err != nil {
-		return nil, core.Stats{}, nil, err
+		return nil, core.Stats{}, nil, nil, err
 	}
-	return formed.Prog, formed.Stats, gap, nil
+	vstats, err := r.validateCompiled(prog, formed.Prog)
+	if err != nil {
+		return nil, core.Stats{}, nil, nil, err
+	}
+	return formed.Prog, formed.Stats, gap, vstats, nil
+}
+
+// validateCompiled gates a compile with the symbolic translation
+// validator: every procedure of bin must prove semantically equivalent
+// to its pristine counterpart in prog, or the compile fails the same
+// way a structural check failure does. Budget-bounded procedures are
+// not failures — they fall back to the structural gates above and are
+// tallied explicitly in the returned stats.
+func (r *Runner) validateCompiled(prog, bin *ir.Program) (*validate.Stats, error) {
+	if !r.validate {
+		return nil, nil
+	}
+	t0 := time.Now()
+	rep, vs := check.Equiv(prog, bin, validate.Options{})
+	r.stats.validateNS.Add(int64(time.Since(t0)))
+	if err := check.Err("validate", vs); err != nil {
+		return nil, err
+	}
+	stats := rep.Stats
+	return &stats, nil
 }
 
 // checkCompacted gates a compaction result: the emitted schedules must
@@ -543,9 +615,14 @@ type benchBases struct {
 // configs that resolve to identical inputs share an entry.
 func (r *Runner) compileKey(progFP, trainFP ir.Digest, cfg core.Config, haveCfg bool) ir.Digest {
 	w := newKeyWriter()
-	w.str("pathsched-pipeline-compile-v1")
+	w.str("pathsched-pipeline-compile-v2")
 	w.digest(progFP)
 	w.digest(trainFP)
+	// Validation never changes the compiled bytes, but validated
+	// entries carry proof stats that unvalidated ones lack, so the two
+	// kinds must not share cache entries (contrast Check, which stores
+	// nothing on the entry and stays out of the key).
+	w.bool(r.validate)
 	if haveCfg {
 		w.u64(1)
 		w.digest(cfg.Fingerprint())
@@ -600,11 +677,11 @@ func (r *Runner) compileKey(progFP, trainFP ir.Digest, cfg core.Config, haveCfg 
 // immutable; callers clone before mutating.
 func (r *Runner) cachedCompile(key ir.Digest, prog *ir.Program, base check.Baseline, cfg core.Config, haveCfg bool) (*compiled, error) {
 	return r.cache.compile(key, func() (*compiled, error) {
-		bin, stats, gap, err := r.compileWith(prog, base, cfg, haveCfg)
+		bin, stats, gap, vstats, err := r.compileWith(prog, base, cfg, haveCfg)
 		if err != nil {
 			return nil, err
 		}
-		return &compiled{master: bin, fp: ir.Fingerprint(bin), stats: stats, gap: gap}, nil
+		return &compiled{master: bin, fp: ir.Fingerprint(bin), stats: stats, gap: gap, vstats: vstats}, nil
 	})
 }
 
@@ -612,12 +689,12 @@ func (r *Runner) cachedCompile(key ir.Digest, prog *ir.Program, base check.Basel
 // gathers the layout weights from a training run of the transformed
 // training build, via the cache when one is configured. It returns a
 // private (mutable) testing binary, the formation stats of its
-// compile, the layout weights to assign to it, and — under exact
-// scheduling — the testing compile's gap accounting.
-func (r *Runner) buildScheme(s Scheme, trainProg, testProg *ir.Program, eprof *profile.EdgeProfile, pprof *profile.PathProfile, keys benchKeys, bases benchBases) (*ir.Program, core.Stats, layout.Input, *sched.GapStats, error) {
+// compile, the layout weights to assign to it, and — when enabled —
+// the testing compile's gap accounting and validation stats.
+func (r *Runner) buildScheme(s Scheme, trainProg, testProg *ir.Program, eprof *profile.EdgeProfile, pprof *profile.PathProfile, keys benchKeys, bases benchBases) (*ir.Program, core.Stats, layout.Input, *sched.GapStats, *validate.Stats, error) {
 	cfg, haveCfg, err := r.formConfig(s, eprof, pprof)
 	if err != nil {
-		return nil, core.Stats{}, layout.Input{}, nil, err
+		return nil, core.Stats{}, layout.Input{}, nil, nil, err
 	}
 
 	if !keys.on {
@@ -625,36 +702,36 @@ func (r *Runner) buildScheme(s Scheme, trainProg, testProg *ir.Program, eprof *p
 		// harvest layout weights, then the testing build for
 		// measurement. Formation is deterministic given (CFG, profile),
 		// so both compiles produce the same structure.
-		trainBin, _, _, err := r.compileWith(trainProg, bases.train, cfg, haveCfg)
+		trainBin, _, _, _, err := r.compileWith(trainProg, bases.train, cfg, haveCfg)
 		if err != nil {
-			return nil, core.Stats{}, layout.Input{}, nil, fmt.Errorf("train compile: %w", err)
+			return nil, core.Stats{}, layout.Input{}, nil, nil, fmt.Errorf("train compile: %w", err)
 		}
-		testBin, stats, gap, err := r.compileWith(testProg, bases.test, cfg, haveCfg)
+		testBin, stats, gap, vstats, err := r.compileWith(testProg, bases.test, cfg, haveCfg)
 		if err != nil {
-			return nil, core.Stats{}, layout.Input{}, nil, fmt.Errorf("test compile: %w", err)
+			return nil, core.Stats{}, layout.Input{}, nil, nil, fmt.Errorf("test compile: %w", err)
 		}
 		if err := checkSameShape(trainBin, testBin); err != nil {
-			return nil, core.Stats{}, layout.Input{}, nil, fmt.Errorf("formed builds diverge: %w", err)
+			return nil, core.Stats{}, layout.Input{}, nil, nil, fmt.Errorf("formed builds diverge: %w", err)
 		}
 		lw, err := r.layoutWeights(trainBin)
 		if err != nil {
-			return nil, core.Stats{}, layout.Input{}, nil, err
+			return nil, core.Stats{}, layout.Input{}, nil, nil, err
 		}
-		return testBin, stats, lw.input(), gap, nil
+		return testBin, stats, lw.input(), gap, vstats, nil
 	}
 
 	// Cached path: the same steps, each memoized by content address
 	// and deduplicated across concurrent scheme workers.
 	trainC, err := r.cachedCompile(r.compileKey(keys.train, keys.train, cfg, haveCfg), trainProg, bases.train, cfg, haveCfg)
 	if err != nil {
-		return nil, core.Stats{}, layout.Input{}, nil, fmt.Errorf("train compile: %w", err)
+		return nil, core.Stats{}, layout.Input{}, nil, nil, fmt.Errorf("train compile: %w", err)
 	}
 	testC, err := r.cachedCompile(r.compileKey(keys.test, keys.train, cfg, haveCfg), testProg, bases.test, cfg, haveCfg)
 	if err != nil {
-		return nil, core.Stats{}, layout.Input{}, nil, fmt.Errorf("test compile: %w", err)
+		return nil, core.Stats{}, layout.Input{}, nil, nil, fmt.Errorf("test compile: %w", err)
 	}
 	if err := checkSameShape(trainC.master, testC.master); err != nil {
-		return nil, core.Stats{}, layout.Input{}, nil, fmt.Errorf("formed builds diverge: %w", err)
+		return nil, core.Stats{}, layout.Input{}, nil, nil, fmt.Errorf("formed builds diverge: %w", err)
 	}
 	// Layout weights are keyed by the *formed* training build's
 	// fingerprint: schemes whose configs differ but whose formed
@@ -666,9 +743,9 @@ func (r *Runner) buildScheme(s Scheme, trainProg, testProg *ir.Program, eprof *p
 		return r.layoutWeights(trainC.master)
 	})
 	if err != nil {
-		return nil, core.Stats{}, layout.Input{}, nil, err
+		return nil, core.Stats{}, layout.Input{}, nil, nil, err
 	}
-	return ir.CloneProgram(testC.master), testC.stats, lp.input(), testC.gap, nil
+	return ir.CloneProgram(testC.master), testC.stats, lp.input(), testC.gap, testC.vstats, nil
 }
 
 // layoutWeights runs the transformed training build once and returns
@@ -696,7 +773,7 @@ func (r *Runner) layoutWeights(trainBin *ir.Program) (*layoutProfile, error) {
 // are the benchmark's shared pristine builds; runScheme only reads them
 // (compileWith clones), so concurrent scheme runs can share one pair.
 func (r *Runner) runScheme(s Scheme, trainProg, testProg *ir.Program, eprof *profile.EdgeProfile, pprof *profile.PathProfile, ref *interp.Result, keys benchKeys, bases benchBases) (*Measurement, error) {
-	testBin, stats, lin, gap, err := r.buildScheme(s, trainProg, testProg, eprof, pprof, keys, bases)
+	testBin, stats, lin, gap, vstats, err := r.buildScheme(s, trainProg, testProg, eprof, pprof, keys, bases)
 	if err != nil {
 		return nil, err
 	}
@@ -732,6 +809,7 @@ func (r *Runner) runScheme(s Scheme, trainProg, testProg *ir.Program, eprof *pro
 		SBEntries:   got.SBEntries,
 		FormStats:   stats,
 		Gap:         gap,
+		Validation:  vstats,
 	}
 	if got.SBEntries > 0 {
 		m.AvgBlocksExecuted = float64(got.SBExecuted) / float64(got.SBEntries)

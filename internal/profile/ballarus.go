@@ -685,14 +685,15 @@ func (bl *BLProfiler) Profile() *PathProfile {
 		// shared between windows aggregate in the map and nothing
 		// allocates per-suffix strings.
 		var nsuf int
-		for wk := range maxw {
+		for wk := range maxw { //lint:ordered — commutative size sum
 			nsuf += len(wk) / 4
 		}
 		idx := &procPathIndex{
 			condBr: st.condBr,
 			freq:   make(map[string]int64, nsuf),
 		}
-		for wk, n := range maxw {
+		// Every visit order produces the same freq table: += into a map.
+		for wk, n := range maxw { //lint:ordered
 			for s := 0; s < len(wk); s += 4 {
 				idx.freq[wk[s:]] += n
 			}

@@ -529,7 +529,8 @@ type procPathIndex struct {
 func (idx *procPathIndex) succIndex() map[string]map[ir.BlockID]int64 {
 	idx.succOnce.Do(func() {
 		succs := make(map[string]map[ir.BlockID]int64, len(idx.freq))
-		for k, n := range idx.freq {
+		// Map-to-map += accumulation: any visit order builds the same index.
+		for k, n := range idx.freq { //lint:ordered
 			if len(k) < 8 {
 				continue
 			}
@@ -582,7 +583,7 @@ func (pf *PathProfile) ForEachSeq(p ir.ProcID, fn func(seq []ir.BlockID, n int64
 	if int(p) >= len(pf.procs) {
 		return
 	}
-	for k, n := range pf.procs[p].freq {
+	for k, n := range pf.procs[p].freq { //lint:ordered — unordered sweep is the documented contract
 		fn(decodeSeqKey(k), n)
 	}
 }
@@ -598,7 +599,7 @@ func (pf *PathProfile) ForEachSeqKey(p ir.ProcID, fn func(key string, n int64)) 
 	if int(p) >= len(pf.procs) {
 		return
 	}
-	for k, n := range pf.procs[p].freq {
+	for k, n := range pf.procs[p].freq { //lint:ordered — unordered sweep is the documented contract
 		fn(k, n)
 	}
 }
@@ -621,7 +622,7 @@ func (pf *PathProfile) FreqKey(p ir.ProcID, key string) int64 {
 // extensions of the sequence encoded by key.
 func (pf *PathProfile) SuccTotalKey(p ir.ProcID, key string) int64 {
 	var total int64
-	for _, n := range pf.procs[p].succIndex()[key] {
+	for _, n := range pf.procs[p].succIndex()[key] { //lint:ordered — commutative sum
 		total += n
 	}
 	return total

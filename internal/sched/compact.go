@@ -259,7 +259,7 @@ func compactSuperblock(p *ir.Proc, sb *core.Superblock, live []RegSet, pool []ir
 	if err != nil {
 		return nil, tagCycleError(err, p, sb)
 	}
-	install(head, sb, final, cycles, span)
+	install(p, head, sb, final, cycles, span)
 	if tryRename {
 		// Register allocation; on pressure failure, retry without
 		// renaming (the fallback schedule is allocation-clean since it
@@ -275,7 +275,7 @@ func compactSuperblock(p *ir.Proc, sb *core.Superblock, live []RegSet, pool []ir
 			if err != nil {
 				return nil, tagCycleError(err, p, sb)
 			}
-			install(head, sb, final, cycles, span)
+			install(p, head, sb, final, cycles, span)
 		}
 	}
 	if gs != nil {
@@ -484,7 +484,11 @@ func eliminateDeadDefs(nodes []node, s *scratch) []node {
 }
 
 // install writes the merged schedule into the superblock's head block.
-func install(head *ir.Block, sb *core.Superblock, nodes []node, cycles []int32, span int32) {
+// It also records UnitOrigins — each constituent's pristine origin
+// block — while sb.Blocks still holds the pre-renumbering formed ids,
+// so the translation validator can map the merged block back to the
+// original trace after removeDeadBlocks has rewritten every other id.
+func install(p *ir.Proc, head *ir.Block, sb *core.Superblock, nodes []node, cycles []int32, span int32) {
 	head.Instrs = make([]ir.Instr, len(nodes))
 	head.ExitUnits = make([]int32, len(nodes))
 	head.Units = make([]int32, len(nodes))
@@ -500,6 +504,10 @@ func install(head *ir.Block, sb *core.Superblock, nodes []node, cycles []int32, 
 	head.SBSize = int32(len(sb.Blocks))
 	head.SBID = int32(sb.ID)
 	head.SBIndex = 0
+	head.UnitOrigins = make([]ir.BlockID, len(sb.Blocks))
+	for u, id := range sb.Blocks {
+		head.UnitOrigins[u] = p.Block(id).Origin
+	}
 }
 
 // removeDeadBlocks drops blocks made unreachable by merging and

@@ -536,14 +536,14 @@ func refCompactSuperblock(p *ir.Proc, sb *core.Superblock, live []RegSet, pool [
 		return nil, tagCycleError(err, p, sb)
 	}
 	head := p.Block(sb.Blocks[0])
-	install(head, sb, final, cycles, span)
+	install(p, head, sb, final, cycles, span)
 	if tryRename {
 		if aerr := regalloc.AssignVirtuals(head, pool); aerr != nil {
 			final, cycles, span, edges, err = refScheduleNodes(p, fallback, false, opts, record)
 			if err != nil {
 				return nil, tagCycleError(err, p, sb)
 			}
-			install(head, sb, final, cycles, span)
+			install(p, head, sb, final, cycles, span)
 		}
 	}
 	sb.Blocks = sb.Blocks[:1]

@@ -69,6 +69,13 @@ func valueNumber(nodes []node, s *scratch) []node {
 	return out
 }
 
+// Commutative reports whether operand order is irrelevant for op. It
+// is the value-numbering canonicalization rule, exported so the
+// translation validator (internal/validate) normalizes expression
+// operand order exactly the way VN does — the two must agree, or the
+// validator would reject schedules VN legally deduplicated.
+func Commutative(op ir.Opcode) bool { return isCommutative(op) }
+
 // isCommutative reports whether operand order is irrelevant, so the
 // value-number key can be canonicalized.
 func isCommutative(op ir.Opcode) bool {

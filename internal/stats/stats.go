@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"pathsched/internal/pipeline"
+	"pathsched/internal/validate"
 )
 
 // bar renders v in [0, max] as a proportional bar.
@@ -245,6 +246,56 @@ func GapTable(results []*pipeline.Result) string {
 			pct = 100 * float64(tot[i].exact) / float64(tot[i].list)
 		}
 		fmt.Fprintf(&sb, " %6.2f%% %12d/%4d/%4d", pct, tot[i].proved, tot[i].bounded, tot[i].improved)
+	}
+	sb.WriteString("\n")
+	return sb.String()
+}
+
+// ValidationTable renders the translation-validation tally of each
+// measured compile (the -validate report). A failed procedure can
+// never reach this table — a validation failure aborts the compile and
+// the whole run with it — so each cell shows proved/bounded procedure
+// counts and the exit cuts the proofs checked. Bounded procedures fell
+// back to the structural checks; a nonzero bounded count is the signal
+// to raise the validation budgets.
+func ValidationTable(results []*pipeline.Result) string {
+	schemes := pipeline.AllSchemes()
+	var sb strings.Builder
+	sb.WriteString("Translation validation: procedures proved equivalent to pristine IR (proved/bounded, cuts checked)\n")
+	fmt.Fprintf(&sb, "%-8s", "bench")
+	for _, s := range schemes {
+		fmt.Fprintf(&sb, " %8s %6s", s, "cuts")
+	}
+	sb.WriteString("\n")
+	totals := make([]validate.Stats, len(schemes))
+	rows := 0
+	for _, r := range results {
+		line := fmt.Sprintf("%-8s", r.Name)
+		any := false
+		for i, s := range schemes {
+			m := r.ByScheme[s]
+			if m == nil || m.Validation == nil {
+				line += fmt.Sprintf(" %8s %6s", "-", "-")
+				continue
+			}
+			v := m.Validation
+			line += fmt.Sprintf(" %8s %6d", fmt.Sprintf("%d/%d", v.Proved, v.Bounded), v.Cuts)
+			totals[i].Add(*v)
+			any = true
+		}
+		if any {
+			sb.WriteString(line + "\n")
+			rows++
+		}
+	}
+	if rows == 0 {
+		sb.WriteString("(no validation data: run with -validate)\n")
+		return sb.String()
+	}
+	fmt.Fprintf(&sb, "%-8s", "total")
+	for i := range schemes {
+		t := totals[i]
+		fmt.Fprintf(&sb, " %8s %6d", fmt.Sprintf("%d/%d", t.Proved, t.Bounded), t.Cuts)
 	}
 	sb.WriteString("\n")
 	return sb.String()

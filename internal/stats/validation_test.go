@@ -1,0 +1,65 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"pathsched/internal/pipeline"
+	"pathsched/internal/validate"
+)
+
+// validationResults fabricates a -validate run: one benchmark with
+// stats on every scheme, one with a bounded procedure and a scheme that
+// came out of a pre-validation cache (nil stats → "-"), and one with no
+// validation data at all (its row must vanish).
+func validationResults() []*pipeline.Result {
+	mk := func(name string, vs map[pipeline.Scheme]*validate.Stats) *pipeline.Result {
+		r := &pipeline.Result{Name: name, ByScheme: map[pipeline.Scheme]*pipeline.Measurement{}}
+		for _, s := range pipeline.AllSchemes() {
+			r.ByScheme[s] = &pipeline.Measurement{Scheme: s, Validation: vs[s]}
+		}
+		return r
+	}
+	full := func(proved, bounded int, cuts int64) *validate.Stats {
+		return &validate.Stats{Procs: proved + bounded, Proved: proved, Bounded: bounded, Cuts: cuts}
+	}
+	return []*pipeline.Result{
+		mk("aaa", map[pipeline.Scheme]*validate.Stats{
+			pipeline.SchemeBB:  full(3, 0, 0),
+			pipeline.SchemeM4:  full(3, 0, 17),
+			pipeline.SchemeM16: full(3, 0, 29),
+			pipeline.SchemeP4e: full(3, 0, 12),
+			pipeline.SchemeP4:  full(3, 0, 14),
+		}),
+		mk("bbb", map[pipeline.Scheme]*validate.Stats{
+			pipeline.SchemeM4: full(1, 1, 5),
+			pipeline.SchemeP4: full(2, 0, 9),
+		}),
+		mk("ccc", nil),
+	}
+}
+
+// The validation table is part of the experiment surface (-validate);
+// pin its exact rendering, bounded counts included, so accounting or
+// format drift is a deliberate change.
+func TestValidationTableGolden(t *testing.T) {
+	got := ValidationTable(validationResults())
+	want := strings.Join([]string{
+		"Translation validation: procedures proved equivalent to pristine IR (proved/bounded, cuts checked)",
+		"bench          BB   cuts       M4   cuts      M16   cuts      P4e   cuts       P4   cuts",
+		"aaa           3/0      0      3/0     17      3/0     29      3/0     12      3/0     14",
+		"bbb             -      -      1/1      5        -      -        -      -      2/0      9",
+		"total         3/0      0      4/1     22      3/0     29      3/0     12      5/0     23",
+		"",
+	}, "\n")
+	if got != want {
+		t.Fatalf("ValidationTable drifted.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestValidationTableEmpty(t *testing.T) {
+	out := ValidationTable(fakeResults()) // no Validation fields anywhere
+	if !strings.Contains(out, "no validation data") {
+		t.Fatalf("empty validation table missing placeholder:\n%s", out)
+	}
+}

@@ -1,0 +1,41 @@
+package validate_test
+
+import (
+	"testing"
+
+	root "pathsched"
+	"pathsched/internal/bench"
+	"pathsched/internal/check"
+	"pathsched/internal/validate"
+)
+
+// BenchmarkEquiv measures the validator alone on a full-size compile:
+// the largest benchmark in the corpus under the paper's main scheme.
+// This is the number that decides whether validated pipelines are
+// affordable, so it gets a benchmark of its own rather than being
+// inferred from suite-level -compilestats deltas.
+func BenchmarkEquiv(b *testing.B) {
+	bm := bench.ByName("gcc")
+	if bm == nil {
+		b.Fatal("gcc benchmark missing")
+	}
+	pristine := bm.Build(bm.Test)
+	profs, err := root.ProfileProgram(bm.Build(bm.Train))
+	if err != nil {
+		b.Fatal(err)
+	}
+	bin, err := root.Compile(pristine, profs, root.SchemeP4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, vs := check.Equiv(pristine, bin, validate.Options{})
+		if len(vs) != 0 {
+			b.Fatalf("gcc/P4 failed validation: %v", vs[0])
+		}
+		if rep.Stats.Proved+rep.Stats.Bounded != rep.Stats.Procs {
+			b.Fatalf("verdicts do not partition procs: %+v", rep.Stats)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package validate
+
+import (
+	"pathsched/internal/ir"
+	"pathsched/internal/sched"
+)
+
+// valID names one node of a graph. Because nodes are hash-consed,
+// two expressions built in the same graph are semantically identical
+// whenever their valIDs are equal (the converse does not hold — the
+// normalization is sound, not complete).
+type valID int32
+
+type exprKind uint8
+
+const (
+	// kConst is an integer constant (value in imm).
+	kConst exprKind = iota
+	// kInitReg is the value register imm held at region entry.
+	kInitReg
+	// kInitMem is the memory state at region entry.
+	kInitMem
+	// kOp is a pure ALU operation (op is the canonical register form;
+	// immediate variants are rewritten to kOp over a kConst operand).
+	kOp
+	// kLoad is the word read from memory a at address b.
+	kLoad
+	// kFresh is the unknowable return value of the imm-th call of the
+	// region (calls execute in their own frames, so only the call
+	// sequence number identifies the result).
+	kFresh
+	// kCallMem is the memory state after the imm-th call (calls are
+	// memory barriers: they may read and write anything).
+	kCallMem
+	// kStore is memory a overwritten with value c at address b.
+	kStore
+)
+
+// expr is the structural identity of a node; it doubles as the
+// hash-cons key.
+type expr struct {
+	k       exprKind
+	op      ir.Opcode
+	a, b, c valID
+	imm     int64
+}
+
+// graph is a hash-consed expression DAG shared by the two sides of one
+// validated region, so that structurally equal values collapse to one
+// node and equivalence is a valID comparison. Alongside each node it
+// memoizes the set of entry registers (kInitReg leaves) the node
+// depends on; the cut-point fixpoint (validate.go) consumes those sets.
+type graph struct {
+	nodes []expr
+	memo  map[expr]valID
+	// vars is the per-node entry-register dependence set, flattened at
+	// `words` uint64s per node.
+	vars  []uint64
+	zero  []uint64 // words zeros, appended to vars per node
+	words int
+}
+
+// reset readies g for a new region with numRegs-wide dependence sets.
+// The backing arrays and the memo map are kept (cleared, not
+// reallocated), so validating many blocks in sequence reuses storage
+// instead of re-growing from empty each time.
+func (g *graph) reset(numRegs int) {
+	w := (numRegs + 63) / 64
+	if w > cap(g.zero) {
+		g.zero = make([]uint64, w)
+	}
+	g.zero = g.zero[:w]
+	g.words = w
+	g.nodes = g.nodes[:0]
+	g.vars = g.vars[:0]
+	if g.memo == nil {
+		g.memo = make(map[expr]valID)
+	} else {
+		clear(g.memo)
+	}
+}
+
+// varsOf returns node v's entry-register dependence set (read-only).
+func (g *graph) varsOf(v valID) []uint64 {
+	return g.vars[int(v)*g.words : (int(v)+1)*g.words]
+}
+
+// intern returns the node for e, creating it (and its dependence set)
+// on first use.
+func (g *graph) intern(e expr) valID {
+	if id, ok := g.memo[e]; ok {
+		return id
+	}
+	id := valID(len(g.nodes))
+	g.nodes = append(g.nodes, e)
+	g.memo[e] = id
+	start := len(g.vars)
+	g.vars = append(g.vars, g.zero...)
+	vs := g.vars[start : start+g.words]
+	switch e.k {
+	case kInitReg:
+		vs[e.imm>>6] |= 1 << uint(e.imm&63)
+	case kConst, kInitMem, kFresh, kCallMem:
+		// leaves with no register dependences
+	default:
+		for _, op := range [3]valID{e.a, e.b, e.c} {
+			if op >= 0 {
+				src := g.varsOf(op)
+				for i := range vs {
+					vs[i] |= src[i]
+				}
+			}
+		}
+	}
+	return id
+}
+
+const noVal valID = -1
+
+func (g *graph) konst(v int64) valID {
+	return g.intern(expr{k: kConst, a: noVal, b: noVal, c: noVal, imm: v})
+}
+
+func (g *graph) initReg(r ir.Reg) valID {
+	return g.intern(expr{k: kInitReg, a: noVal, b: noVal, c: noVal, imm: int64(r)})
+}
+
+func (g *graph) initMem() valID {
+	return g.intern(expr{k: kInitMem, a: noVal, b: noVal, c: noVal})
+}
+
+func (g *graph) fresh(call int) valID {
+	return g.intern(expr{k: kFresh, a: noVal, b: noVal, c: noVal, imm: int64(call)})
+}
+
+func (g *graph) callMem(call int) valID {
+	return g.intern(expr{k: kCallMem, a: noVal, b: noVal, c: noVal, imm: int64(call)})
+}
+
+func (g *graph) load(mem, addr valID) valID {
+	return g.intern(expr{k: kLoad, a: mem, b: addr, c: noVal})
+}
+
+func (g *graph) store(mem, addr, val valID) valID {
+	return g.intern(expr{k: kStore, a: mem, b: addr, c: val})
+}
+
+// binop builds the canonical-form ALU node op(a, b), constant-folding
+// when both operands are constants and sorting the operands of
+// commutative ops (the same canonicalization rule VN applies, via the
+// exported sched.Commutative seam).
+func (g *graph) binop(op ir.Opcode, a, b valID) valID {
+	na, nb := &g.nodes[a], &g.nodes[b]
+	if na.k == kConst && nb.k == kConst {
+		return g.konst(evalOp(op, na.imm, nb.imm))
+	}
+	if sched.Commutative(op) && b < a {
+		a, b = b, a
+	}
+	return g.intern(expr{k: kOp, op: op, a: a, b: b, c: noVal})
+}
+
+// evalOp folds one pure ALU op over constants with exactly the
+// interpreter's semantics (64-bit wrapping arithmetic, shift counts
+// masked to 6 bits, arithmetic right shift, 0/1 comparisons).
+func evalOp(op ir.Opcode, x, y int64) int64 {
+	switch op {
+	case ir.OpAdd:
+		return x + y
+	case ir.OpSub:
+		return x - y
+	case ir.OpMul:
+		return x * y
+	case ir.OpAnd:
+		return x & y
+	case ir.OpOr:
+		return x | y
+	case ir.OpXor:
+		return x ^ y
+	case ir.OpShl:
+		return x << (uint64(y) & 63)
+	case ir.OpShr:
+		return x >> (uint64(y) & 63)
+	case ir.OpCmpEQ:
+		return b2i(x == y)
+	case ir.OpCmpNE:
+		return b2i(x != y)
+	case ir.OpCmpLT:
+		return b2i(x < y)
+	case ir.OpCmpLE:
+		return b2i(x <= y)
+	}
+	panic("validate: evalOp on non-foldable opcode")
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

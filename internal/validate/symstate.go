@@ -1,0 +1,555 @@
+package validate
+
+import (
+	"math/bits"
+
+	"pathsched/internal/ir"
+)
+
+// event is one observable effect in a region's symbolic execution.
+// Stores and calls form the memory stream; emits and calls the output
+// stream (the scheduler orders each stream internally but never orders
+// an emit against a store, so the validator compares them separately).
+type event struct {
+	op    ir.Opcode
+	instr int // instruction index in the owning block/trace
+	// a, b: store → address, value; emit → value; call → memory state
+	// the call observes.
+	a, b   valID
+	callee ir.ProcID
+	args   []valID
+}
+
+// symState is one side's symbolic machine state while executing a
+// region: register file and memory as graph nodes, plus the two
+// observable effect streams and the call sequence counter that aligns
+// havoc symbols across the two sides.
+//
+// The register file is lazy: regs[r] == noVal means r still holds its
+// entry value, and reg() materializes the kInitReg node only on first
+// read. dirty marks the registers the region has written; everything
+// outside it is implicitly equal across the two sides (both hold the
+// entry value), which keeps per-cut work proportional to the registers
+// a region touches rather than to the procedure's register count.
+type symState struct {
+	regs  []valID
+	dirty []uint64 // bitset over regs: written by this region
+	mem   valID
+	memEv []event // stores and calls, in execution order
+	outEv []event // emits and calls, in execution order
+	calls int
+}
+
+// reset readies st for a new region over g, reusing its backing
+// arrays.
+func (st *symState) reset(g *graph, nregs int) {
+	w := (nregs + 63) / 64
+	if nregs > cap(st.regs) {
+		st.regs = make([]valID, nregs)
+		st.dirty = make([]uint64, w)
+	}
+	st.regs = st.regs[:nregs]
+	st.dirty = st.dirty[:w]
+	for r := range st.regs {
+		st.regs[r] = noVal
+	}
+	for i := range st.dirty {
+		st.dirty[i] = 0
+	}
+	st.mem = g.initMem()
+	st.memEv = st.memEv[:0]
+	st.outEv = st.outEv[:0]
+	st.calls = 0
+}
+
+// reg reads register r, materializing its entry-value node on first
+// read. Reads do not mark r dirty: holding the entry value is exactly
+// what dirty tracks the absence of.
+func (st *symState) reg(g *graph, r ir.Reg) valID {
+	if st.regs[r] == noVal {
+		st.regs[r] = g.initReg(r)
+	}
+	return st.regs[r]
+}
+
+// set writes register r.
+func (st *symState) set(r ir.Reg, v valID) {
+	st.regs[r] = v
+	st.dirty[int(r)>>6] |= 1 << uint(int(r)&63)
+}
+
+// exec symbolically executes one non-control instruction. It reports
+// false on an opcode outside the validator's model.
+func (st *symState) exec(g *graph, i int, ins *ir.Instr) bool {
+	switch ins.Op {
+	case ir.OpNop:
+	case ir.OpMovI:
+		st.set(ins.Dst, g.konst(ins.Imm))
+	case ir.OpMov:
+		st.set(ins.Dst, st.reg(g, ins.Src1))
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpAnd, ir.OpOr, ir.OpXor,
+		ir.OpShl, ir.OpShr,
+		ir.OpCmpEQ, ir.OpCmpNE, ir.OpCmpLT, ir.OpCmpLE:
+		st.set(ins.Dst, g.binop(ins.Op, st.reg(g, ins.Src1), st.reg(g, ins.Src2)))
+	case ir.OpAddI:
+		st.set(ins.Dst, g.binop(ir.OpAdd, st.reg(g, ins.Src1), g.konst(ins.Imm)))
+	case ir.OpMulI:
+		st.set(ins.Dst, g.binop(ir.OpMul, st.reg(g, ins.Src1), g.konst(ins.Imm)))
+	case ir.OpAndI:
+		st.set(ins.Dst, g.binop(ir.OpAnd, st.reg(g, ins.Src1), g.konst(ins.Imm)))
+	case ir.OpOrI:
+		st.set(ins.Dst, g.binop(ir.OpOr, st.reg(g, ins.Src1), g.konst(ins.Imm)))
+	case ir.OpXorI:
+		st.set(ins.Dst, g.binop(ir.OpXor, st.reg(g, ins.Src1), g.konst(ins.Imm)))
+	case ir.OpShlI:
+		st.set(ins.Dst, g.binop(ir.OpShl, st.reg(g, ins.Src1), g.konst(ins.Imm)))
+	case ir.OpShrI:
+		st.set(ins.Dst, g.binop(ir.OpShr, st.reg(g, ins.Src1), g.konst(ins.Imm)))
+	case ir.OpCmpEQI:
+		st.set(ins.Dst, g.binop(ir.OpCmpEQ, st.reg(g, ins.Src1), g.konst(ins.Imm)))
+	case ir.OpCmpNEI:
+		st.set(ins.Dst, g.binop(ir.OpCmpNE, st.reg(g, ins.Src1), g.konst(ins.Imm)))
+	case ir.OpCmpLTI:
+		st.set(ins.Dst, g.binop(ir.OpCmpLT, st.reg(g, ins.Src1), g.konst(ins.Imm)))
+	case ir.OpCmpLEI:
+		st.set(ins.Dst, g.binop(ir.OpCmpLE, st.reg(g, ins.Src1), g.konst(ins.Imm)))
+	case ir.OpCmpGTI:
+		// x > C  ⇔  C < x: rewrite onto the register comparison the same
+		// way the interpreter and VN treat these forms.
+		st.set(ins.Dst, g.binop(ir.OpCmpLT, g.konst(ins.Imm), st.reg(g, ins.Src1)))
+	case ir.OpCmpGEI:
+		st.set(ins.Dst, g.binop(ir.OpCmpLE, g.konst(ins.Imm), st.reg(g, ins.Src1)))
+	case ir.OpLoad:
+		st.set(ins.Dst, g.load(st.mem, st.addr(g, ins)))
+	case ir.OpStore:
+		a := st.addr(g, ins)
+		v := st.reg(g, ins.Src2)
+		st.memEv = append(st.memEv, event{op: ir.OpStore, instr: i, a: a, b: v})
+		st.mem = g.store(st.mem, a, v)
+	case ir.OpEmit:
+		st.outEv = append(st.outEv, event{op: ir.OpEmit, instr: i, a: st.reg(g, ins.Src1)})
+	default:
+		return false
+	}
+	return true
+}
+
+// addr builds the effective address Src1+Imm of a load or store.
+func (st *symState) addr(g *graph, ins *ir.Instr) valID {
+	if ins.Imm == 0 {
+		return st.reg(g, ins.Src1)
+	}
+	return g.binop(ir.OpAdd, st.reg(g, ins.Src1), g.konst(ins.Imm))
+}
+
+// call applies a call's effects: it appends the call to both effect
+// streams (recording the memory it observes and the argument values),
+// havocs memory, and defines the result register with a fresh symbol.
+// Symbols are indexed by call sequence number, which aligns across the
+// two sides because calls are ordering barriers on both.
+func (st *symState) call(g *graph, i int, ins *ir.Instr) {
+	k := st.calls
+	st.calls++
+	ev := event{op: ir.OpCall, instr: i, a: st.mem, callee: ins.Callee}
+	if len(ins.Args) > 0 {
+		ev.args = make([]valID, len(ins.Args))
+		for j, r := range ins.Args {
+			ev.args[j] = st.reg(g, r)
+		}
+	}
+	st.memEv = append(st.memEv, ev)
+	st.outEv = append(st.outEv, ev)
+	st.mem = g.callMem(k)
+	st.set(ins.Dst, g.fresh(k))
+}
+
+// texit is one control exit recorded during the transformed block's
+// symbolic pass, to be consumed in order by the pristine trace walk.
+type texit struct {
+	instr   int
+	op      ir.Opcode
+	cond    valID // br/switch selector
+	ret     valID // ret value
+	targets []ir.BlockID
+	regs    []valID  // register snapshot at the exit (noVal = entry value)
+	dirty   []uint64 // registers written before this exit
+	mem     valID
+	memLen  int // memory-stream events retired before this exit
+	outLen  int
+}
+
+// blockV validates one transformed merged block against its pristine
+// trace.
+type blockV struct {
+	pv     *procV
+	b      *ir.Block
+	g      *graph
+	texits []texit
+	ei     int // next texit to consume
+	base   []uint64
+	cuts   []cut
+}
+
+func (pv *procV) validateBlock(b *ir.Block) {
+	g := &pv.scr.g
+	g.reset(pv.nregs)
+	bv := &blockV{pv: pv, b: b, g: g, base: make([]uint64, pv.words)}
+	defer func() {
+		pv.nodes += len(g.nodes)
+		pv.cuts[b.ID] = bv.cuts
+		pv.base[b.ID] = bv.base
+	}()
+
+	// Transformed pass: straight-line symbolic execution recording every
+	// control exit with a full state snapshot.
+	ts := &pv.scr.ts
+	ts.reset(g, pv.nregs)
+	for i := range b.Instrs {
+		ins := &b.Instrs[i]
+		switch ins.Op {
+		case ir.OpBr, ir.OpSwitch:
+			bv.snap(ts, i, ins, texit{cond: ts.reg(g, ins.Src1)})
+		case ir.OpJmp:
+			bv.snap(ts, i, ins, texit{})
+		case ir.OpRet:
+			bv.snap(ts, i, ins, texit{ret: ts.reg(g, ins.Src1)})
+		case ir.OpCall:
+			ts.call(g, i, ins)
+			if len(ins.Targets) > 0 && ins.Targets[0] != ir.NoBlock {
+				bv.snap(ts, i, ins, texit{})
+			}
+		default:
+			if !ts.exec(g, i, ins) {
+				pv.bad(b.ID, i, "opcode %s is outside the validator's model", ins.Op)
+				return
+			}
+		}
+	}
+
+	// Pristine pass: walk the trace named by UnitOrigins, replaying the
+	// original blocks and consuming one recorded exit per surviving
+	// branch.
+	ps := &pv.scr.ps
+	ps.reset(g, pv.nregs)
+	for u, oid := range b.UnitOrigins {
+		pb := pv.pp.Block(oid)
+		last := u == len(b.UnitOrigins)-1
+		next := ir.NoBlock
+		if !last {
+			next = b.UnitOrigins[u+1]
+		}
+		for i := range pb.Instrs {
+			ins := &pb.Instrs[i]
+			switch ins.Op {
+			case ir.OpBr, ir.OpSwitch:
+				if !last && allTargets(ins.Targets, next) {
+					// Merging internalized this branch: every direction
+					// continues on trace, so it leaves no exit.
+					continue
+				}
+				if !bv.checkpoint(ps, oid, i, ins, last, next) {
+					return
+				}
+			case ir.OpJmp:
+				if last {
+					if !bv.checkpoint(ps, oid, i, ins, last, next) {
+						return
+					}
+				} else if ins.Targets[0] != next {
+					bv.discontinuity(oid, i, ins.Targets[0], next)
+					return
+				}
+			case ir.OpCall:
+				ps.call(g, i, ins)
+				tgt := ir.NoBlock
+				if len(ins.Targets) > 0 {
+					tgt = ins.Targets[0]
+				}
+				if tgt == ir.NoBlock {
+					continue
+				}
+				if last {
+					if !bv.checkpoint(ps, oid, i, ins, last, next) {
+						return
+					}
+				} else if tgt != next {
+					bv.discontinuity(oid, i, tgt, next)
+					return
+				}
+			case ir.OpRet:
+				if !last {
+					bv.pv.bad(bv.b.ID, NoInstr,
+						"trace metadata continues past the return in original b%d", oid)
+					return
+				}
+				if !bv.checkpoint(ps, oid, i, ins, last, next) {
+					return
+				}
+			default:
+				if !ps.exec(g, i, ins) {
+					pv.bad(b.ID, NoInstr, "original b%d instr %d: opcode %s is outside the validator's model", oid, i, ins.Op)
+					return
+				}
+			}
+		}
+	}
+	if bv.ei != len(bv.texits) {
+		pv.bad(b.ID, bv.texits[bv.ei].instr,
+			"transformed block has %d control exits, the original trace implies %d",
+			len(bv.texits), bv.ei)
+		return
+	}
+
+	// Global effect-stream comparison (per-exit prefix counts already
+	// matched above, so lengths agree; contents must too).
+	bv.compareStreams(ts, ps)
+}
+
+// snap records a control exit with a snapshot of the current state.
+func (bv *blockV) snap(ts *symState, i int, ins *ir.Instr, t texit) {
+	t.instr = i
+	t.op = ins.Op
+	t.targets = ins.Targets
+	t.regs = append([]valID(nil), ts.regs...)
+	t.dirty = append([]uint64(nil), ts.dirty...)
+	t.mem = ts.mem
+	t.memLen = len(ts.memEv)
+	t.outLen = len(ts.outEv)
+	bv.texits = append(bv.texits, t)
+}
+
+func (bv *blockV) discontinuity(oid ir.BlockID, i int, got, want ir.BlockID) {
+	bv.pv.bad(bv.b.ID, NoInstr,
+		"trace discontinuity at original b%d instr %d: control passes to b%d, but the trace metadata names b%d as the next unit",
+		oid, i, got, want)
+}
+
+// checkpoint consumes the next recorded transformed exit and matches it
+// against the pristine branch at (oid, pi). It returns false only when
+// the block's validation cannot continue.
+func (bv *blockV) checkpoint(ps *symState, oid ir.BlockID, pi int, ins *ir.Instr, last bool, next ir.BlockID) bool {
+	pv := bv.pv
+	if bv.ei >= len(bv.texits) {
+		pv.bad(bv.b.ID, NoInstr,
+			"original branch at b%d instr %d has no corresponding exit left in the transformed block", oid, pi)
+		return false
+	}
+	t := &bv.texits[bv.ei]
+	bv.ei++
+
+	// An effect may never migrate across a branch: both streams must
+	// have retired the same number of events on the two sides.
+	if t.memLen != len(ps.memEv) {
+		pv.bad(bv.b.ID, t.instr,
+			"stores/calls retired before this exit: transformed %d, original %d (branch at b%d instr %d)",
+			t.memLen, len(ps.memEv), oid, pi)
+	}
+	if t.outLen != len(ps.outEv) {
+		pv.bad(bv.b.ID, t.instr,
+			"emits/calls retired before this exit: transformed %d, original %d (branch at b%d instr %d)",
+			t.outLen, len(ps.outEv), oid, pi)
+	}
+	if t.mem != ps.mem {
+		pv.bad(bv.b.ID, t.instr,
+			"memory state differs from the original at this exit (branch at b%d instr %d)", oid, pi)
+		bv.useVars(t.mem, ps.mem)
+	}
+
+	// Branch-form matching. A degenerate original br (both directions
+	// the same) is an unconditional jump in all but spelling; formation
+	// normalizes it to jmp, so accept that shape.
+	pop, ptargets := ins.Op, ins.Targets
+	if pop == ir.OpBr && t.op == ir.OpJmp && allSame(ptargets) {
+		pop, ptargets = ir.OpJmp, ptargets[:1]
+	}
+	if t.op != pop {
+		pv.bad(bv.b.ID, t.instr,
+			"exit is a %s, the original branch at b%d instr %d is a %s", t.op, oid, pi, ins.Op)
+		return true
+	}
+	switch pop {
+	case ir.OpBr, ir.OpSwitch:
+		pc := ps.reg(bv.g, ins.Src1)
+		bv.useVars(t.cond, pc)
+		if t.cond != pc {
+			pv.bad(bv.b.ID, t.instr,
+				"exit condition differs from the original branch at b%d instr %d", oid, pi)
+		}
+	case ir.OpRet:
+		pr := ps.reg(bv.g, ins.Src1)
+		bv.useVars(t.ret, pr)
+		if t.ret != pr {
+			pv.bad(bv.b.ID, t.instr,
+				"return value differs from the original return at b%d instr %d", oid, pi)
+		}
+		return true // a return has no successors, hence no cuts
+	}
+
+	// Slot-for-slot target correspondence and exit cuts.
+	if len(t.targets) != len(ptargets) {
+		pv.bad(bv.b.ID, t.instr,
+			"exit has %d targets, the original branch at b%d instr %d has %d",
+			len(t.targets), oid, pi, len(ptargets))
+		return true
+	}
+	for k := range ptargets {
+		tt, pt := t.targets[k], ptargets[k]
+		if tt == ir.NoBlock {
+			// Fall-through inside the merged block: this must be the
+			// on-trace direction of a non-final branch.
+			if last {
+				pv.bad(bv.b.ID, t.instr, "terminator target %d falls through past the end of the block", k)
+			} else if pt != next {
+				pv.bad(bv.b.ID, t.instr,
+					"target %d continues inside the block, but the original branch at b%d instr %d goes to b%d, not the next trace unit b%d",
+					k, oid, pi, pt, next)
+			}
+			continue
+		}
+		if int(tt) < 0 || int(tt) >= len(pv.tp.Blocks) {
+			pv.bad(bv.b.ID, t.instr, "exit target %d names b%d, which does not exist", k, tt)
+			continue
+		}
+		if pv.origin[tt] != pt {
+			pv.bad(bv.b.ID, t.instr,
+				"exit target b%d implements original b%d, but the original branch at b%d instr %d goes to b%d (slot %d)",
+				tt, pv.origin[tt], oid, pi, pt, k)
+			continue
+		}
+		bv.addCut(t, tt, ps)
+	}
+	return true
+}
+
+// addCut records the per-register equality and dependence information
+// of one (exit → successor) edge for the cut-point fixpoint. Only
+// registers some side wrote are recorded; the rest hold their entry
+// value on both sides and stay implicit in the cut.
+func (bv *blockV) addCut(t *texit, target ir.BlockID, ps *symState) {
+	pv := bv.pv
+	w := pv.words
+	c := cut{
+		instr:    t.instr,
+		target:   target,
+		explicit: make([]uint64, w),
+		eq:       make([]uint64, w),
+	}
+	n := 0
+	for i := range c.explicit {
+		c.explicit[i] = t.dirty[i] | ps.dirty[i]
+		n += bits.OnesCount64(c.explicit[i])
+	}
+	c.pairVars = make([]uint64, n*w)
+	idx := 0
+	for i, word := range c.explicit {
+		for word != 0 {
+			r := i<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			vt, vp := t.regs[r], ps.regs[r]
+			if vt == noVal {
+				vt = bv.g.initReg(ir.Reg(r))
+			}
+			if vp == noVal {
+				vp = bv.g.initReg(ir.Reg(r))
+			}
+			if vt == vp {
+				c.eq[i] |= 1 << uint(r&63)
+			}
+			dst := c.pairVars[idx*w : (idx+1)*w]
+			orInto(dst, bv.g.varsOf(vt))
+			orInto(dst, bv.g.varsOf(vp))
+			idx++
+		}
+	}
+	bv.cuts = append(bv.cuts, c)
+	pv.ncuts++
+}
+
+// useVars marks both sides of a directly-compared value pair as
+// observables of this block: their entry-register dependences seed the
+// fixpoint.
+func (bv *blockV) useVars(a, b valID) {
+	orInto(bv.base, bv.g.varsOf(a))
+	orInto(bv.base, bv.g.varsOf(b))
+}
+
+// compareStreams checks the two sides' effect streams pairwise for
+// content equality (prefix counts were checked at each exit).
+func (bv *blockV) compareStreams(ts, ps *symState) {
+	for j := 0; j < min(len(ts.memEv), len(ps.memEv)); j++ {
+		bv.compareEvent("store/call", j, &ts.memEv[j], &ps.memEv[j])
+	}
+	for j := 0; j < min(len(ts.outEv), len(ps.outEv)); j++ {
+		bv.compareEvent("emit/call", j, &ts.outEv[j], &ps.outEv[j])
+	}
+}
+
+func (bv *blockV) compareEvent(stream string, j int, te, pe *event) {
+	pv := bv.pv
+	if te.op != pe.op {
+		pv.bad(bv.b.ID, te.instr, "%s #%d is a %s, the original's is a %s", stream, j, te.op, pe.op)
+		return
+	}
+	switch te.op {
+	case ir.OpStore:
+		bv.useVars(te.a, pe.a)
+		bv.useVars(te.b, pe.b)
+		if te.a != pe.a {
+			pv.bad(bv.b.ID, te.instr, "%s #%d stores to a different address than the original's (original instr %d)", stream, j, pe.instr)
+		}
+		if te.b != pe.b {
+			pv.bad(bv.b.ID, te.instr, "%s #%d stores a different value than the original's (original instr %d)", stream, j, pe.instr)
+		}
+	case ir.OpEmit:
+		bv.useVars(te.a, pe.a)
+		if te.a != pe.a {
+			pv.bad(bv.b.ID, te.instr, "%s #%d emits a different value than the original's (original instr %d)", stream, j, pe.instr)
+		}
+	case ir.OpCall:
+		if te.callee != pe.callee {
+			pv.bad(bv.b.ID, te.instr, "%s #%d calls procedure %d, the original calls %d", stream, j, te.callee, pe.callee)
+			return
+		}
+		if len(te.args) != len(pe.args) {
+			pv.bad(bv.b.ID, te.instr, "%s #%d passes %d arguments, the original passes %d", stream, j, len(te.args), len(pe.args))
+			return
+		}
+		for x := range te.args {
+			bv.useVars(te.args[x], pe.args[x])
+			if te.args[x] != pe.args[x] {
+				pv.bad(bv.b.ID, te.instr, "%s #%d argument %d differs from the original's (original instr %d)", stream, j, x, pe.instr)
+			}
+		}
+		bv.useVars(te.a, pe.a)
+		if te.a != pe.a {
+			pv.bad(bv.b.ID, te.instr, "%s #%d observes a different memory state than the original's (original instr %d)", stream, j, pe.instr)
+		}
+	}
+}
+
+func allSame(ts []ir.BlockID) bool {
+	for _, t := range ts[1:] {
+		if t != ts[0] {
+			return false
+		}
+	}
+	return len(ts) > 0
+}
+
+func allTargets(ts []ir.BlockID, want ir.BlockID) bool {
+	if len(ts) == 0 {
+		return false
+	}
+	for _, t := range ts {
+		if t != want {
+			return false
+		}
+	}
+	return true
+}
+
+func orInto(dst, src []uint64) {
+	for i := range dst {
+		dst[i] |= src[i]
+	}
+}

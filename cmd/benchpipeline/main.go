@@ -2,7 +2,7 @@
 // compile/layout-profile cache buys an end-to-end RunSuite over all
 // five schemes, and writes the result to BENCH_pipeline.json.
 //
-// Three arms are timed per trial:
+// Five arms are timed per trial:
 //
 //   - off:  cache disabled (the pre-cache pipeline);
 //   - cold: a fresh cache — wins come from intra-run sharing only
@@ -11,7 +11,14 @@
 //   - warm: the same runner's second RunSuite — every compile and
 //     every layout-profiling interpreter run is served from cache,
 //     which is the ablation-sweep / re-run regime runAblations exploits
-//     by sharing one cache across configs.
+//     by sharing one cache across configs;
+//   - disk_cold / disk_warm: two *fresh processes* (the binary re-execs
+//     itself with -diskchild) sharing one artifact-store directory. The
+//     first populates the store while compiling, the second serves
+//     every compile and layout profile from disk — the process-restart
+//     regime the store exists for, where the in-memory cache is worth
+//     exactly 1.0x. Child timings are the children's own RunSuite
+//     seconds, so process startup is excluded from every arm alike.
 //
 // Like cmd/benchinterp, this expects noisy shared machines: each trial
 // times all arms adjacently (alternating whether the cache-off or the
@@ -29,6 +36,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
@@ -36,6 +45,7 @@ import (
 
 	"pathsched/internal/bench"
 	"pathsched/internal/pipeline"
+	"pathsched/internal/store"
 )
 
 type armStats struct {
@@ -53,17 +63,29 @@ type report struct {
 	Off         armStats `json:"cache_off"`
 	Cold        armStats `json:"cache_cold"`
 	Warm        armStats `json:"cache_warm"`
-	// Speedups are medians of per-trial off/arm ratios; >1 means the
-	// cached arm finished the suite faster than the cache-off arm of
-	// the same trial.
-	SpeedupCold float64 `json:"speedup_cold_vs_off"`
-	SpeedupWarm float64 `json:"speedup_warm_vs_off"`
+	DiskCold    armStats `json:"disk_cold"`
+	DiskWarm    armStats `json:"disk_warm"`
+	// Speedups are medians of per-trial ratios; >1 means the second
+	// arm finished the suite faster than the first arm of the same
+	// trial. The disk speedup is the headline: a fresh process over a
+	// warm store vs a fresh process over an empty one.
+	SpeedupCold     float64 `json:"speedup_cold_vs_off"`
+	SpeedupWarm     float64 `json:"speedup_warm_vs_off"`
+	SpeedupDiskWarm float64 `json:"speedup_diskwarm_vs_diskcold"`
 	// Cache counters from the last trial, substantiating where the
 	// time went: cold shows misses+dedups+train==test hits, warm shows
 	// every lookup hitting.
 	ColdStats        string  `json:"cold_cache_stats"`
 	WarmStats        string  `json:"warm_cache_stats"`
+	DiskColdStats    string  `json:"disk_cold_cache_stats"`
+	DiskWarmStats    string  `json:"disk_warm_cache_stats"`
 	WallClockSeconds float64 `json:"wall_clock_seconds"`
+}
+
+// childReport is what a -diskchild process prints to stdout.
+type childReport struct {
+	Seconds float64 `json:"seconds"`
+	Stats   string  `json:"stats"`
 }
 
 func median(xs []float64) float64 {
@@ -80,10 +102,12 @@ func median(xs []float64) float64 {
 }
 
 func main() {
-	trials := flag.Int("trials", 3, "paired trials (each times all three arms)")
+	trials := flag.Int("trials", 3, "paired trials (each times all five arms)")
 	benches := flag.String("bench", "", "comma-separated benchmark names (default: whole suite)")
 	jobs := flag.Int("j", 0, "pipeline workers per run (0 = GOMAXPROCS)")
 	out := flag.String("o", "BENCH_pipeline.json", "output file")
+	diskChild := flag.Bool("diskchild", false, "internal: run one disk-backed suite in this process and print JSON timing")
+	storeDir := flag.String("store", "", "artifact store directory (with -diskchild)")
 	flag.Parse()
 
 	var names []string
@@ -102,6 +126,55 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *diskChild {
+		st, err := store.Open(*storeDir, store.Options{})
+		if err != nil {
+			fail(err)
+		}
+		r := pipeline.NewRunner(pipeline.Options{Parallelism: *jobs, ArtifactStore: st})
+		secs, err := runSuite(r)
+		if err != nil {
+			fail(err)
+		}
+		var statsStr string
+		if s, ok := r.CacheStats(); ok {
+			statsStr = s.String()
+		}
+		if err := json.NewEncoder(os.Stdout).Encode(childReport{Seconds: secs, Stats: statsStr}); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	// runDiskProcess re-execs this binary over dir and returns the
+	// child's own suite seconds and cache counters.
+	runDiskProcess := func(dir string) (childReport, error) {
+		self, err := os.Executable()
+		if err != nil {
+			return childReport{}, err
+		}
+		args := []string{"-diskchild", "-store", dir, "-j", fmt.Sprint(*jobs)}
+		if *benches != "" {
+			args = append(args, "-bench", *benches)
+		}
+		cmd := exec.Command(self, args...)
+		cmd.Stderr = os.Stderr
+		outBuf, err := cmd.Output()
+		if err != nil {
+			return childReport{}, fmt.Errorf("disk child: %w", err)
+		}
+		var cr childReport
+		if err := json.Unmarshal(outBuf, &cr); err != nil {
+			return childReport{}, fmt.Errorf("disk child output: %w", err)
+		}
+		return cr, nil
+	}
+	storeRoot, err := os.MkdirTemp("", "pathsched-bench-store-")
+	if err != nil {
+		fail(err)
+	}
+	defer os.RemoveAll(storeRoot)
+
 	rep := &report{
 		TrialCount:  *trials,
 		Parallelism: *jobs,
@@ -117,7 +190,7 @@ func main() {
 	}
 
 	start := time.Now()
-	var coldRatios, warmRatios []float64
+	var coldRatios, warmRatios, diskRatios []float64
 	for t := 0; t < *trials; t++ {
 		offRunner := pipeline.NewRunner(pipeline.Options{Parallelism: *jobs, DisableProfileCache: true})
 		onRunner := pipeline.NewRunner(pipeline.Options{Parallelism: *jobs})
@@ -138,12 +211,31 @@ func main() {
 				rep.WarmStats = s.String()
 			}
 		}
+		var diskCold, diskWarm float64
+		timeDisk := func() {
+			// A fresh store directory per trial: the first child runs
+			// disk-cold and populates it, the second runs disk-warm
+			// off what the first published. The two are adjacent, so
+			// machine drift cancels in their ratio.
+			dir := filepath.Join(storeRoot, fmt.Sprintf("trial%d", t))
+			cr, derr := runDiskProcess(dir)
+			if derr != nil {
+				fail(derr)
+			}
+			diskCold, rep.DiskColdStats = cr.Seconds, cr.Stats
+			if cr, derr = runDiskProcess(dir); derr != nil {
+				fail(derr)
+			}
+			diskWarm, rep.DiskWarmStats = cr.Seconds, cr.Stats
+		}
 		if t%2 == 0 {
 			if off, err = runSuite(offRunner); err != nil {
 				fail(err)
 			}
 			timeOn()
+			timeDisk()
 		} else {
+			timeDisk()
 			timeOn()
 			if off, err = runSuite(offRunner); err != nil {
 				fail(err)
@@ -152,22 +244,29 @@ func main() {
 		rep.Off.Trials = append(rep.Off.Trials, off)
 		rep.Cold.Trials = append(rep.Cold.Trials, cold)
 		rep.Warm.Trials = append(rep.Warm.Trials, warm)
+		rep.DiskCold.Trials = append(rep.DiskCold.Trials, diskCold)
+		rep.DiskWarm.Trials = append(rep.DiskWarm.Trials, diskWarm)
 		coldRatios = append(coldRatios, off/cold)
 		warmRatios = append(warmRatios, off/warm)
-		fmt.Printf("trial %d/%d: off %6.2fs   cold %6.2fs (%.2fx)   warm %6.2fs (%.2fx)\n",
-			t+1, *trials, off, cold, off/cold, warm, off/warm)
+		diskRatios = append(diskRatios, diskCold/diskWarm)
+		fmt.Printf("trial %d/%d: off %6.2fs   cold %6.2fs (%.2fx)   warm %6.2fs (%.2fx)   disk %6.2fs -> %6.2fs (%.2fx)\n",
+			t+1, *trials, off, cold, off/cold, warm, off/warm, diskCold, diskWarm, diskCold/diskWarm)
 	}
 	rep.Off.MedianSeconds = median(rep.Off.Trials)
 	rep.Cold.MedianSeconds = median(rep.Cold.Trials)
 	rep.Warm.MedianSeconds = median(rep.Warm.Trials)
+	rep.DiskCold.MedianSeconds = median(rep.DiskCold.Trials)
+	rep.DiskWarm.MedianSeconds = median(rep.DiskWarm.Trials)
 	rep.SpeedupCold = median(coldRatios)
 	rep.SpeedupWarm = median(warmRatios)
+	rep.SpeedupDiskWarm = median(diskRatios)
 	rep.WallClockSeconds = time.Since(start).Seconds()
 
-	fmt.Printf("median: off %.2fs   cold %.2fs (%.2fx)   warm %.2fs (%.2fx)\n",
+	fmt.Printf("median: off %.2fs   cold %.2fs (%.2fx)   warm %.2fs (%.2fx)   disk %.2fs -> %.2fs (%.2fx)\n",
 		rep.Off.MedianSeconds, rep.Cold.MedianSeconds, rep.SpeedupCold,
-		rep.Warm.MedianSeconds, rep.SpeedupWarm)
-	fmt.Printf("cold cache: %s\nwarm cache: %s\n", rep.ColdStats, rep.WarmStats)
+		rep.Warm.MedianSeconds, rep.SpeedupWarm,
+		rep.DiskCold.MedianSeconds, rep.DiskWarm.MedianSeconds, rep.SpeedupDiskWarm)
+	fmt.Printf("cold cache: %s\nwarm cache: %s\ndisk-warm cache: %s\n", rep.ColdStats, rep.WarmStats, rep.DiskWarmStats)
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

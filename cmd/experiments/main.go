@@ -25,6 +25,7 @@ import (
 	"pathsched/internal/pipeline"
 	"pathsched/internal/sched"
 	"pathsched/internal/stats"
+	"pathsched/internal/store"
 )
 
 func main() {
@@ -51,6 +52,11 @@ func main() {
 		exnodes   = flag.Int("exactnodes", 0, "exact-search node budget per region (0 = default 32, max 64)")
 		exsearch  = flag.Int64("exactsearch", 0, "exact-search step budget per region (0 = default 200000)")
 		gapstats  = flag.Bool("gapstats", false, "report the gap-to-optimal table (implies -exact)")
+		storeDir  = flag.String("store", "", "persistent artifact-store directory (disk tier under the cache, shared across processes)")
+		storeGC   = flag.Int64("storegc", 0, "after the run, prune the -store directory to this many bytes (oldest access first)")
+		shardSpec = flag.String("shards", "", "run only shard i of n ('i/n', 0-based) of the benchmark list")
+		spawnN    = flag.Int("spawn", 0, "fork N worker processes sharing one artifact store and merge their results")
+		shardOut  = flag.String("shardout", "", "write this shard's results as a JSON envelope to FILE instead of reports (used by -spawn)")
 	)
 	flag.Parse()
 	if *gapstats {
@@ -78,42 +84,112 @@ func main() {
 		validateMode = pipeline.ValidateOff
 	}
 
-	if *ablate {
-		runAblations(*benches, *jobs, *cstats, *nocache, checkMode, validateMode)
-		return
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		if st, err = store.Open(*storeDir, store.Options{}); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+	if *storeGC > 0 && st == nil {
+		fmt.Fprintln(os.Stderr, "experiments: -storegc requires -store")
+		os.Exit(2)
 	}
 
-	mc := machine.Default()
-	mc.Realistic = *realistic
-	cache := machine.DefaultICache()
-	cache.Ways = *ways
-	runner := pipeline.NewRunner(pipeline.Options{
-		Machine:             mc,
-		Cache:               &cache,
-		Profiler:            pipeline.ProfilerScheme(*profiler),
-		BLIterations:        *bliters,
-		PathDepth:           *depth,
-		Parallelism:         *jobs,
-		DisableProfileCache: *nocache,
-		Check:               checkMode,
-		Validate:            validateMode,
-		Sched: sched.Options{Exact: sched.ExactConfig{
-			Enabled:      *exact,
-			NodeBudget:   *exnodes,
-			SearchBudget: *exsearch,
-		}},
-	})
+	if *spawnN > 0 {
+		// The spawn driver merges child results parsed back from JSON,
+		// which deliberately excludes the per-process observational
+		// fields those reports need.
+		for _, bad := range []struct {
+			set  bool
+			name string
+		}{{*ablate, "-ablate"}, {*profstats, "-profstats"}, {*compstats, "-compilestats"}, {*dovalid, "-validate"}, {*shardSpec != "", "-shards"}, {*shardOut != "", "-shardout"}} {
+			if bad.set {
+				fmt.Fprintf(os.Stderr, "experiments: -spawn is incompatible with %s\n", bad.name)
+				os.Exit(2)
+			}
+		}
+	}
+
+	if *ablate {
+		runAblations(*benches, *jobs, *cstats, *nocache, checkMode, validateMode, st)
+		return
+	}
 
 	var names []string
 	if *benches != "" {
 		names = strings.Split(*benches, ",")
 	}
+
+	var (
+		results    []*pipeline.Result
+		runner     *pipeline.Runner
+		shardStats []pipeline.CacheStats
+	)
 	start := time.Now()
-	results, err := runner.RunSuite(names, pipeline.AllSchemes())
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
+	if *spawnN > 0 {
+		var err error
+		results, shardStats, err = spawnWorkers(*spawnN, *storeDir, names)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	} else {
+		if *shardSpec != "" {
+			var index, count int
+			if _, err := fmt.Sscanf(*shardSpec, "%d/%d", &index, &count); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: bad -shards %q (want i/n)\n", *shardSpec)
+				os.Exit(2)
+			}
+			var err error
+			if names, err = pipeline.ShardNames(names, index, count); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(2)
+			}
+		}
+		mc := machine.Default()
+		mc.Realistic = *realistic
+		cache := machine.DefaultICache()
+		cache.Ways = *ways
+		runner = pipeline.NewRunner(pipeline.Options{
+			Machine:             mc,
+			Cache:               &cache,
+			Profiler:            pipeline.ProfilerScheme(*profiler),
+			BLIterations:        *bliters,
+			PathDepth:           *depth,
+			Parallelism:         *jobs,
+			DisableProfileCache: *nocache,
+			Check:               checkMode,
+			Validate:            validateMode,
+			ArtifactStore:       st,
+			Sched: sched.Options{Exact: sched.ExactConfig{
+				Enabled:      *exact,
+				NodeBudget:   *exnodes,
+				SearchBudget: *exsearch,
+			}},
+		})
+		var err error
+		results, err = runner.RunSuite(names, pipeline.AllSchemes())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
 	}
+
+	if *shardOut != "" {
+		env := shardEnvelope{Results: results}
+		if s, ok := runner.CacheStats(); ok {
+			env.Stats, env.HaveStats = s, true
+		}
+		if err := writeShardEnvelope(*shardOut, env); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		runStoreGC(st, *storeGC)
+		return
+	}
+
 	if *jsonOut {
 		out, err := stats.JSON(results)
 		if err != nil {
@@ -121,6 +197,7 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(out)
+		runStoreGC(st, *storeGC)
 		return
 	}
 	workers := *jobs
@@ -130,10 +207,20 @@ func main() {
 	fmt.Printf("# pathsched experiments — %d benchmarks, schemes %v, %d worker(s), wall clock %.1fs\n\n",
 		len(results), pipeline.AllSchemes(), workers, time.Since(start).Seconds())
 	if *cstats {
-		if s, ok := runner.CacheStats(); ok {
-			fmt.Printf("# cache: %s\n\n", s)
-		} else {
-			fmt.Printf("# cache: disabled\n\n")
+		switch {
+		case shardStats != nil:
+			total := pipeline.CacheStats{}
+			for i, s := range shardStats {
+				fmt.Printf("# cache shard %d: %s\n", i, s)
+				total = total.Add(s)
+			}
+			fmt.Printf("# cache total: %s\n\n", total)
+		case runner != nil:
+			if s, ok := runner.CacheStats(); ok {
+				fmt.Printf("# cache: %s\n\n", s)
+			} else {
+				fmt.Printf("# cache: disabled\n\n")
+			}
 		}
 	}
 
@@ -176,6 +263,22 @@ func main() {
 	if *compstats {
 		printCompileStats(runner.CompileStats())
 	}
+	runStoreGC(st, *storeGC)
+}
+
+// runStoreGC prunes the artifact store to maxBytes after the run (a
+// no-op without -store/-storegc).
+func runStoreGC(st *store.Store, maxBytes int64) {
+	if st == nil || maxBytes <= 0 {
+		return
+	}
+	gc, err := st.GC(maxBytes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: store gc:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("# store gc: removed %d entries (%d bytes); %d entries (%d bytes) remain\n",
+		gc.Removed, gc.RemovedBytes, gc.Entries, gc.Bytes)
 }
 
 // printCompileStats reports where compile time went across the whole
@@ -249,7 +352,9 @@ func printProfStats(results []*pipeline.Result) {
 // All configurations share one content-addressed cache, so configs
 // that resolve to identical formation inputs (depth=15 vs baseline)
 // collapse to one compile and one layout-profiling run per benchmark.
-func runAblations(benches string, jobs int, cstats, nocache bool, checkMode pipeline.CheckMode, validateMode pipeline.ValidateMode) {
+// With -store, the shared cache is disk-backed, so a repeated sweep
+// starts warm.
+func runAblations(benches string, jobs int, cstats, nocache bool, checkMode pipeline.CheckMode, validateMode pipeline.ValidateMode, st *store.Store) {
 	names := []string{"alt", "ph", "corr", "wc", "eqn", "m88k"}
 	if benches != "" {
 		names = strings.Split(benches, ",")
@@ -279,6 +384,9 @@ func runAblations(benches string, jobs int, cstats, nocache bool, checkMode pipe
 	fmt.Printf("# ablations over %v (geomean of P4/M4 ideal cycles; lower favors P4)\n\n", names)
 	fmt.Printf("%-14s %10s %14s\n", "config", "P4/M4", "P4 cycles (K)")
 	shared := pipeline.NewCache()
+	if st != nil {
+		shared = pipeline.NewDiskCache(st)
+	}
 	for _, c := range configs {
 		c.opts.Parallelism = jobs
 		c.opts.ProfileCache = shared

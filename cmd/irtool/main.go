@@ -15,6 +15,9 @@
 //	irtool paths -top 10 wc.ir               # hottest general paths
 //	irtool profile -edge e.prof -path p.prof wc.ir   # save profiles
 //	irtool compile -scheme P4 -edge e.prof -path p.prof wc.ir > wc.p4.ir
+//	irtool store ls -dir .pathsched-store            # list artifact-store entries
+//	irtool store verify -dir .pathsched-store        # re-fingerprint every entry
+//	irtool store gc -dir .pathsched-store -maxbytes 1000000
 //
 // profile + compile decouple training from compilation, the standard
 // profile-guided build workflow.
@@ -63,13 +66,15 @@ func main() {
 		dotCmd(args)
 	case "trace":
 		traceCmd(args)
+	case "store":
+		storeCmd(args)
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: irtool {dump|verify|check|run|validate|paths|profile|compile|dot|trace} [flags] [file.ir]")
+	fmt.Fprintln(os.Stderr, "usage: irtool {dump|verify|check|run|validate|paths|profile|compile|dot|trace|store} [flags] [file.ir]")
 	os.Exit(2)
 }
 

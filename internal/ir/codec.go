@@ -1,0 +1,364 @@
+package ir
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary program codec for the disk artifact store.
+//
+// The textual format (text.go) deliberately captures only the
+// architectural program — it drops schedule annotations, superblock
+// metadata, and layout addresses, which is exactly what a disk cache of
+// *compiled* programs must preserve: a compiled master that loses its
+// Cycles would be re-measured at one cycle per instruction and its
+// translation-validation metadata (UnitOrigins) would vanish. This
+// codec therefore round-trips every field Fingerprint hashes, and
+// nothing else, so
+//
+//	Fingerprint(DecodeProgram(EncodeProgram(p))) == Fingerprint(p)
+//
+// holds by construction and the store can integrity-check an entry by
+// re-fingerprinting what it decoded. The encoding is length-prefixed
+// varints throughout; any truncation or corruption surfaces as a
+// decode error (never a silently different program — the fingerprint
+// cross-check backstops even a codec bug).
+//
+// Derived state is excluded exactly as Fingerprint excludes it: the
+// memoized execution decode and the virtual-register cursor. Decoding
+// resets the cursor above the highest register in use, so a consumer
+// that (unexpectedly) asks a decoded procedure for a fresh virtual
+// register can never collide with an existing one.
+
+// codecMagic versions the binary program encoding. Bump on any layout
+// change: entries written by other versions then fail to decode and
+// are rebuilt, which is always safe.
+const codecMagic = "pathsched-ir-bin-v1\n"
+
+// EncodeProgram serializes prog into the binary codec format.
+func EncodeProgram(prog *Program) []byte {
+	e := &progEncoder{buf: make([]byte, 0, 1<<14)}
+	e.raw([]byte(codecMagic))
+	e.str(prog.Name)
+	e.i64(int64(prog.Main))
+	e.i64(prog.MemSize)
+
+	e.u64(uint64(len(prog.Data)))
+	for _, seg := range prog.Data {
+		e.i64(seg.Addr)
+		e.u64(uint64(len(seg.Values)))
+		for _, v := range seg.Values {
+			e.i64(v)
+		}
+	}
+
+	e.u64(uint64(len(prog.Procs)))
+	for _, p := range prog.Procs {
+		if p == nil {
+			e.u64(0)
+			continue
+		}
+		e.u64(1)
+		e.str(p.Name)
+		e.i64(int64(p.ID))
+		e.u64(uint64(len(p.Blocks)))
+		for _, b := range p.Blocks {
+			e.block(b)
+		}
+	}
+	return e.buf
+}
+
+func (e *progEncoder) block(b *Block) {
+	e.i64(int64(b.ID))
+	e.i64(int64(b.Origin))
+	e.i64(int64(b.SBID))
+	e.i64(int64(b.SBIndex))
+	e.i64(int64(b.SBSize))
+	e.i64(int64(b.Span))
+	e.i64(b.Addr)
+	e.i32Slice(b.ExitUnits)
+	e.i32Slice(b.Units)
+	e.blockIDSlice(b.UnitOrigins)
+	e.i32Slice(b.Cycles)
+	e.u64(uint64(len(b.Instrs)))
+	for i := range b.Instrs {
+		ins := &b.Instrs[i]
+		e.u64(uint64(ins.Op))
+		e.i64(int64(ins.Dst))
+		e.i64(int64(ins.Src1))
+		e.i64(int64(ins.Src2))
+		e.i64(ins.Imm)
+		e.bool(ins.Spec)
+		e.u64(uint64(len(ins.Targets)))
+		for _, t := range ins.Targets {
+			e.i64(int64(t))
+		}
+		e.i64(int64(ins.Callee))
+		e.u64(uint64(len(ins.Args)))
+		for _, a := range ins.Args {
+			e.i64(int64(a))
+		}
+	}
+}
+
+// DecodeProgram parses data written by EncodeProgram. It validates
+// framing (magic, lengths, trailing bytes) but not program semantics:
+// callers that need a verified program run ir.Verify, and the artifact
+// store additionally re-fingerprints the result against its key.
+func DecodeProgram(data []byte) (*Program, error) {
+	d := &progDecoder{buf: data}
+	magic, err := d.rawN(len(codecMagic))
+	if err != nil || string(magic) != codecMagic {
+		return nil, fmt.Errorf("ir: decode: bad or missing codec magic")
+	}
+	prog := &Program{}
+	prog.Name = d.str()
+	prog.Main = ProcID(d.i64())
+	prog.MemSize = d.i64()
+
+	nseg := d.count()
+	if d.err == nil && nseg > 0 {
+		prog.Data = make([]DataSeg, 0, nseg)
+	}
+	for i := uint64(0); i < nseg && d.err == nil; i++ {
+		seg := DataSeg{Addr: d.i64()}
+		nv := d.count()
+		if d.err == nil && nv > 0 {
+			seg.Values = make([]int64, nv)
+			for j := range seg.Values {
+				seg.Values[j] = d.i64()
+			}
+		}
+		prog.Data = append(prog.Data, seg)
+	}
+
+	nproc := d.count()
+	if d.err == nil {
+		prog.Procs = make([]*Proc, 0, nproc)
+	}
+	for i := uint64(0); i < nproc && d.err == nil; i++ {
+		if d.u64() == 0 {
+			prog.Procs = append(prog.Procs, nil)
+			continue
+		}
+		p := &Proc{}
+		p.Name = d.str()
+		p.ID = ProcID(d.i64())
+		nblk := d.count()
+		if d.err == nil && nblk > 0 {
+			p.Blocks = make([]*Block, 0, nblk)
+		}
+		for j := uint64(0); j < nblk && d.err == nil; j++ {
+			p.Blocks = append(p.Blocks, d.block())
+		}
+		// Reset the virtual-register cursor above every register in
+		// use (Fingerprint excludes it, so the encoding does too).
+		if d.err == nil {
+			p.nextVirt = p.MaxReg() + 1
+			if p.nextVirt < VirtBase {
+				p.nextVirt = VirtBase
+			}
+		}
+		prog.Procs = append(prog.Procs, p)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.buf) != 0 {
+		return nil, fmt.Errorf("ir: decode: %d trailing bytes", len(d.buf))
+	}
+	return prog, nil
+}
+
+func (d *progDecoder) block() *Block {
+	b := &Block{
+		ID:      BlockID(d.i64()),
+		Origin:  BlockID(d.i64()),
+		SBID:    int32(d.i64()),
+		SBIndex: int32(d.i64()),
+		SBSize:  int32(d.i64()),
+		Span:    int32(d.i64()),
+		Addr:    d.i64(),
+	}
+	b.ExitUnits = d.i32Slice()
+	b.Units = d.i32Slice()
+	b.UnitOrigins = d.blockIDSlice()
+	b.Cycles = d.i32Slice()
+	nins := d.count()
+	if d.err == nil && nins > 0 {
+		b.Instrs = make([]Instr, nins)
+	}
+	for i := uint64(0); i < nins && d.err == nil; i++ {
+		ins := &b.Instrs[i]
+		ins.Op = Opcode(d.u64())
+		ins.Dst = Reg(d.i64())
+		ins.Src1 = Reg(d.i64())
+		ins.Src2 = Reg(d.i64())
+		ins.Imm = d.i64()
+		ins.Spec = d.bool()
+		if nt := d.count(); d.err == nil && nt > 0 {
+			ins.Targets = make([]BlockID, nt)
+			for j := range ins.Targets {
+				ins.Targets[j] = BlockID(d.i64())
+			}
+		}
+		ins.Callee = ProcID(d.i64())
+		if na := d.count(); d.err == nil && na > 0 {
+			ins.Args = make([]Reg, na)
+			for j := range ins.Args {
+				ins.Args[j] = Reg(d.i64())
+			}
+		}
+	}
+	return b
+}
+
+// progEncoder appends varint-framed fields to a buffer.
+type progEncoder struct {
+	buf []byte
+}
+
+func (e *progEncoder) raw(b []byte) { e.buf = append(e.buf, b...) }
+func (e *progEncoder) u64(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+func (e *progEncoder) i64(v int64)  { e.buf = binary.AppendVarint(e.buf, v) }
+func (e *progEncoder) str(s string) { e.u64(uint64(len(s))); e.raw([]byte(s)) }
+func (e *progEncoder) bool(b bool) {
+	if b {
+		e.u64(1)
+	} else {
+		e.u64(0)
+	}
+}
+
+// i32Slice encodes presence (nil and empty differ: nil Cycles means
+// unscheduled) followed by the values.
+func (e *progEncoder) i32Slice(s []int32) {
+	if s == nil {
+		e.u64(0)
+		return
+	}
+	e.u64(1)
+	e.u64(uint64(len(s)))
+	for _, v := range s {
+		e.i64(int64(v))
+	}
+}
+
+func (e *progEncoder) blockIDSlice(s []BlockID) {
+	if s == nil {
+		e.u64(0)
+		return
+	}
+	e.u64(1)
+	e.u64(uint64(len(s)))
+	for _, v := range s {
+		e.i64(int64(v))
+	}
+}
+
+// progDecoder consumes the buffer with sticky error handling: after
+// the first framing error every read returns zero values and the error
+// is reported once at the end.
+type progDecoder struct {
+	buf []byte
+	err error
+}
+
+func (d *progDecoder) fail(msg string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("ir: decode: %s", msg)
+	}
+}
+
+func (d *progDecoder) rawN(n int) ([]byte, error) {
+	if len(d.buf) < n {
+		return nil, fmt.Errorf("ir: decode: truncated (%d bytes, need %d)", len(d.buf), n)
+	}
+	b := d.buf[:n]
+	d.buf = d.buf[n:]
+	return b, nil
+}
+
+func (d *progDecoder) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.fail("truncated or malformed uvarint")
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *progDecoder) i64() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf)
+	if n <= 0 {
+		d.fail("truncated or malformed varint")
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *progDecoder) bool() bool { return d.u64() != 0 }
+
+// count reads a length prefix and sanity-checks it against the bytes
+// remaining: every counted element needs at least one byte, so a count
+// beyond len(buf) proves corruption without attempting the allocation.
+func (d *progDecoder) count() uint64 {
+	n := d.u64()
+	if d.err == nil && n > uint64(len(d.buf)) {
+		d.fail("length prefix exceeds remaining input")
+		return 0
+	}
+	return n
+}
+
+func (d *progDecoder) str() string {
+	n := d.count()
+	if d.err != nil {
+		return ""
+	}
+	b, err := d.rawN(int(n))
+	if err != nil {
+		d.err = err
+		return ""
+	}
+	return string(b)
+}
+
+func (d *progDecoder) i32Slice() []int32 {
+	if d.u64() == 0 {
+		return nil
+	}
+	n := d.count()
+	if d.err != nil {
+		return nil
+	}
+	s := make([]int32, n)
+	for i := range s {
+		s[i] = int32(d.i64())
+	}
+	return s
+}
+
+func (d *progDecoder) blockIDSlice() []BlockID {
+	if d.u64() == 0 {
+		return nil
+	}
+	n := d.count()
+	if d.err != nil {
+		return nil
+	}
+	s := make([]BlockID, n)
+	for i := range s {
+		s[i] = BlockID(d.i64())
+	}
+	return s
+}

@@ -12,6 +12,7 @@ import (
 	"pathsched/internal/layout"
 	"pathsched/internal/profile"
 	"pathsched/internal/sched"
+	"pathsched/internal/store"
 	"pathsched/internal/validate"
 )
 
@@ -43,10 +44,16 @@ import (
 // differential tests pin cache-on results byte-identical to the
 // cache-off serial pipeline.
 //
+// When a disk artifact store is attached (NewDiskCache), the cache
+// becomes two-tiered: memory → disk → build. A memory miss consults
+// the store before building, and a local build publishes its artifact
+// so other processes sharing the store directory skip it.
+//
 // A Cache may be shared across Runners (ablation sweeps pass one cache
 // to every config's runner) and is safe for concurrent use.
 type Cache struct {
 	mu       sync.Mutex
+	store    *store.Store // optional disk tier; nil = memory-only
 	compiles map[ir.Digest]*entry[*compiled]
 	layouts  map[ir.Digest]*entry[*layoutProfile]
 	stats    struct {
@@ -55,7 +62,7 @@ type Cache struct {
 	}
 }
 
-// NewCache returns an empty cache.
+// NewCache returns an empty memory-only cache.
 func NewCache() *Cache {
 	return &Cache{
 		compiles: map[ir.Digest]*entry[*compiled]{},
@@ -63,23 +70,57 @@ func NewCache() *Cache {
 	}
 }
 
-// CacheStats counts cache outcomes. A "hit" found a completed entry, a
-// "miss" computed one, and a "dedup" found another worker already
-// computing the same key and waited for it instead of recomputing.
+// NewDiskCache returns a cache backed by the given artifact store as a
+// second tier. Results are identical to a memory-only cache; only
+// where the work happens changes.
+func NewDiskCache(st *store.Store) *Cache {
+	c := NewCache()
+	c.store = st
+	return c
+}
+
+// TierStats counts lookup outcomes for one artifact kind. Every
+// lookup lands in exactly one of MemHits, DiskHits, Dedups, or Builds;
+// ClaimWaits additionally counts the lookups that blocked on another
+// process's in-flight build before resolving.
+type TierStats struct {
+	MemHits    int64 // completed entry already in this process's memory
+	DiskHits   int64 // decoded and verified from the artifact store
+	ClaimWaits int64 // waited on another process's claim first
+	Builds     int64 // computed from scratch in this process
+	Dedups     int64 // waited on another goroutine's in-flight build
+}
+
+// Add returns the element-wise sum (merging per-shard stats).
+func (t TierStats) Add(o TierStats) TierStats {
+	return TierStats{
+		MemHits:    t.MemHits + o.MemHits,
+		DiskHits:   t.DiskHits + o.DiskHits,
+		ClaimWaits: t.ClaimWaits + o.ClaimWaits,
+		Builds:     t.Builds + o.Builds,
+		Dedups:     t.Dedups + o.Dedups,
+	}
+}
+
+func (t TierStats) String() string {
+	return fmt.Sprintf("%d mem hits / %d disk hits / %d claim-waits / %d builds / %d dedups",
+		t.MemHits, t.DiskHits, t.ClaimWaits, t.Builds, t.Dedups)
+}
+
+// CacheStats counts cache outcomes per artifact kind and tier.
 type CacheStats struct {
-	CompileHits   int64
-	CompileMisses int64
-	CompileDedups int64
-	LayoutHits    int64
-	LayoutMisses  int64
-	LayoutDedups  int64
+	Compile TierStats
+	Layout  TierStats
+}
+
+// Add returns the element-wise sum (merging per-shard stats).
+func (s CacheStats) Add(o CacheStats) CacheStats {
+	return CacheStats{Compile: s.Compile.Add(o.Compile), Layout: s.Layout.Add(o.Layout)}
 }
 
 // String renders the counters for the -cachestats report.
 func (s CacheStats) String() string {
-	return fmt.Sprintf("compile %d hits / %d misses / %d dedups; layout-profile %d hits / %d misses / %d dedups",
-		s.CompileHits, s.CompileMisses, s.CompileDedups,
-		s.LayoutHits, s.LayoutMisses, s.LayoutDedups)
+	return fmt.Sprintf("compile %s; layout-profile %s", s.Compile, s.Layout)
 }
 
 // Stats returns a snapshot of the counters.
@@ -202,35 +243,22 @@ func lookup[V any](c *Cache, m map[ir.Digest]*entry[V], key ir.Digest, build fun
 	return e.val, outcomeMiss, e.err
 }
 
+// bump applies f to one kind's tier counters under the stats lock.
+func (c *Cache) bump(sel func(*CacheStats) *TierStats, f func(*TierStats)) {
+	c.stats.Lock()
+	f(sel(&c.stats.s))
+	c.stats.Unlock()
+}
+
 // compile memoizes one formed+compacted build.
 func (c *Cache) compile(key ir.Digest, build func() (*compiled, error)) (*compiled, error) {
-	v, out, err := lookup(c, c.compiles, key, build)
-	c.stats.Lock()
-	switch out {
-	case outcomeHit:
-		c.stats.s.CompileHits++
-	case outcomeMiss:
-		c.stats.s.CompileMisses++
-	case outcomeDedup:
-		c.stats.s.CompileDedups++
-	}
-	c.stats.Unlock()
-	return v, err
+	return lookupTiered(c, c.compiles, key, compiledCodec,
+		func(s *CacheStats) *TierStats { return &s.Compile }, build)
 }
 
 // layout memoizes one layout-profiling run, keyed by the fingerprint
 // of the formed training build it profiles.
 func (c *Cache) layout(key ir.Digest, build func() (*layoutProfile, error)) (*layoutProfile, error) {
-	v, out, err := lookup(c, c.layouts, key, build)
-	c.stats.Lock()
-	switch out {
-	case outcomeHit:
-		c.stats.s.LayoutHits++
-	case outcomeMiss:
-		c.stats.s.LayoutMisses++
-	case outcomeDedup:
-		c.stats.s.LayoutDedups++
-	}
-	c.stats.Unlock()
-	return v, err
+	return lookupTiered(c, c.layouts, key, layoutCodec,
+		func(s *CacheStats) *TierStats { return &s.Layout }, build)
 }

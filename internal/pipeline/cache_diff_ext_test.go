@@ -50,10 +50,10 @@ func TestCachedSuiteMatchesUncachedByteForByte(t *testing.T) {
 		if !ok {
 			t.Fatalf("Parallelism=%d: cache enabled but no stats", par)
 		}
-		if s.CompileMisses == 0 || s.LayoutMisses == 0 {
+		if s.Compile.Builds == 0 || s.Layout.Builds == 0 {
 			t.Errorf("Parallelism=%d: cache saw no work (stats %s)", par, s)
 		}
-		if s.CompileHits == 0 {
+		if s.Compile.MemHits == 0 {
 			t.Errorf("Parallelism=%d: expected train==test compile hits on alt/ph/corr (stats %s)", par, s)
 		}
 	}
@@ -82,12 +82,12 @@ func TestSharedCacheAcrossRunnersIsWarm(t *testing.T) {
 	if first != second {
 		t.Fatalf("warm re-run diverges from cold run:\n--- cold ---\n%s\n--- warm ---\n%s", first, second)
 	}
-	if after.CompileMisses != before.CompileMisses || after.LayoutMisses != before.LayoutMisses {
-		t.Errorf("warm re-run recompiled: misses went %d/%d -> %d/%d",
-			before.CompileMisses, before.LayoutMisses, after.CompileMisses, after.LayoutMisses)
+	if after.Compile.Builds != before.Compile.Builds || after.Layout.Builds != before.Layout.Builds {
+		t.Errorf("warm re-run recompiled: builds went %d/%d -> %d/%d",
+			before.Compile.Builds, before.Layout.Builds, after.Compile.Builds, after.Layout.Builds)
 	}
-	wantHits := before.CompileMisses + before.CompileHits + before.CompileDedups
-	if gotHits := after.CompileHits - before.CompileHits; gotHits != wantHits {
-		t.Errorf("warm re-run compile hits = %d, want %d (every lookup a hit)", gotHits, wantHits)
+	wantHits := before.Compile.Builds + before.Compile.MemHits + before.Compile.Dedups
+	if gotHits := after.Compile.MemHits - before.Compile.MemHits; gotHits != wantHits {
+		t.Errorf("warm re-run compile mem hits = %d, want %d (every lookup a hit)", gotHits, wantHits)
 	}
 }

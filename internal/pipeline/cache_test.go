@@ -41,8 +41,8 @@ func TestCacheHitAfterMiss(t *testing.T) {
 		t.Fatal("hit returned a different value than the miss that created the entry")
 	}
 	s := c.Stats()
-	if s.CompileHits != 1 || s.CompileMisses != 1 || s.CompileDedups != 0 {
-		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 0 dedups", s)
+	if s.Compile.MemHits != 1 || s.Compile.Builds != 1 || s.Compile.Dedups != 0 {
+		t.Fatalf("stats = %+v, want 1 mem hit / 1 build / 0 dedups", s)
 	}
 }
 
@@ -53,8 +53,8 @@ func TestCacheDistinctKeysDistinctEntries(t *testing.T) {
 	if a == b {
 		t.Fatal("distinct keys shared one entry")
 	}
-	if s := c.Stats(); s.CompileMisses != 2 {
-		t.Fatalf("stats = %+v, want 2 misses", s)
+	if s := c.Stats(); s.Compile.Builds != 2 {
+		t.Fatalf("stats = %+v, want 2 builds", s)
 	}
 }
 
@@ -145,9 +145,15 @@ func TestCacheErrorsAreCached(t *testing.T) {
 }
 
 func TestCacheStatsString(t *testing.T) {
-	s := CacheStats{CompileHits: 1, CompileMisses: 2, CompileDedups: 3, LayoutHits: 4, LayoutMisses: 5, LayoutDedups: 6}
+	s := CacheStats{
+		Compile: TierStats{MemHits: 1, DiskHits: 2, ClaimWaits: 3, Builds: 4, Dedups: 5},
+		Layout:  TierStats{MemHits: 6, DiskHits: 7, ClaimWaits: 8, Builds: 9, Dedups: 10},
+	}
 	got := s.String()
-	for _, want := range []string{"compile 1 hits / 2 misses / 3 dedups", "layout-profile 4 hits / 5 misses / 6 dedups"} {
+	for _, want := range []string{
+		"compile 1 mem hits / 2 disk hits / 3 claim-waits / 4 builds / 5 dedups",
+		"layout-profile 6 mem hits / 7 disk hits / 8 claim-waits / 9 builds / 10 dedups",
+	} {
 		if !strings.Contains(got, want) {
 			t.Fatalf("String() = %q, missing %q", got, want)
 		}

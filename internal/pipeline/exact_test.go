@@ -76,7 +76,7 @@ func TestExactMeasurementGap(t *testing.T) {
 	}
 	second := run() // same cache: compiles are hits now
 	cs := cache.Stats()
-	if cs.CompileHits == 0 {
+	if cs.Compile.MemHits == 0 {
 		t.Fatalf("second run missed the compile cache: %+v", cs)
 	}
 	for _, s := range []Scheme{SchemeM4, SchemeP4} {

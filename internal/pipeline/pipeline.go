@@ -53,6 +53,7 @@ import (
 	"pathsched/internal/machine"
 	"pathsched/internal/profile"
 	"pathsched/internal/sched"
+	"pathsched/internal/store"
 	"pathsched/internal/validate"
 )
 
@@ -161,6 +162,13 @@ type Options struct {
 	// pass one cache to several runners to share compiles across
 	// ablation configs. Results are identical with or without it.
 	ProfileCache *Cache
+	// ArtifactStore backs the cache with a persistent disk tier (see
+	// internal/store): compiles and layout profiles are published
+	// there and shared across processes. Only consulted when NewRunner
+	// creates the cache itself (ProfileCache nil, caching enabled);
+	// callers passing an explicit ProfileCache attach a store with
+	// NewDiskCache instead. Results are identical with or without it.
+	ArtifactStore *store.Store
 	// DisableProfileCache turns memoization off entirely, restoring the
 	// historical every-scheme-recompiles behavior. The differential
 	// tests pin cached runs byte-identical to this path.
@@ -325,7 +333,11 @@ func NewRunner(opts Options) *Runner {
 	}
 	if !opts.DisableProfileCache {
 		if r.cache = opts.ProfileCache; r.cache == nil {
-			r.cache = NewCache()
+			if opts.ArtifactStore != nil {
+				r.cache = NewDiskCache(opts.ArtifactStore)
+			} else {
+				r.cache = NewCache()
+			}
 		}
 	}
 	return r
@@ -826,6 +838,27 @@ func (r *Runner) runScheme(s Scheme, trainProg, testProg *ir.Program, eprof *pro
 // RunSuite measures every named benchmark (nil means the whole suite).
 func (r *Runner) RunSuite(names []string, schemes []Scheme) ([]*Result, error) {
 	return r.RunSuiteContext(context.Background(), names, schemes)
+}
+
+// ShardNames deterministically partitions a suite's benchmark list for
+// shard index of count (0 <= index < count), preserving suite order
+// within the shard. The split is round-robin so the suite's expensive
+// benchmarks, which cluster at neither end, spread across shards. The
+// shards of any fixed count are a disjoint cover of names: a driver
+// that merges per-shard results back into suite-list order reproduces
+// the unsharded suite exactly.
+func ShardNames(names []string, index, count int) ([]string, error) {
+	if count < 1 || index < 0 || index >= count {
+		return nil, fmt.Errorf("pipeline: bad shard %d/%d", index, count)
+	}
+	if names == nil {
+		names = bench.Names()
+	}
+	out := []string{} // non-nil: an empty shard must not mean "whole suite"
+	for i := index; i < len(names); i += count {
+		out = append(out, names[i])
+	}
+	return out, nil
 }
 
 // RunSuiteContext is RunSuite with cancellation: benchmarks are

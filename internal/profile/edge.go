@@ -140,6 +140,10 @@ type EdgeProfile struct {
 // Entries returns how many times procedure p was invoked.
 func (e *EdgeProfile) Entries(p ir.ProcID) int64 { return e.procs[p].entries }
 
+// NProcs returns the procedure count the profile was sized for — the
+// nprocs a ParseEdgeProfile round trip needs.
+func (e *EdgeProfile) NProcs() int { return len(e.procs) }
+
 // BlockFreq returns the execution count of block b in procedure p.
 func (e *EdgeProfile) BlockFreq(p ir.ProcID, b ir.BlockID) int64 {
 	pe := e.procs[p]

@@ -1,0 +1,156 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Acquired is the outcome of Acquire: exactly one of Claim and Data is
+// set. Data non-nil means another builder already published the entry
+// (possibly after we waited for it); Claim non-nil means the caller
+// won the build and must Publish or Abandon.
+type Acquired struct {
+	Claim  *Claim
+	Data   []byte
+	Waited bool // true if we blocked on another owner's claim
+}
+
+// Claim is an exclusive (but optimistic) right to build one entry. The
+// holder refreshes the claim file's timestamp in the background; if the
+// holding process dies, the refreshes stop and waiters take the claim
+// over after StaleAfter.
+type Claim struct {
+	s         *Store
+	kind, key string
+	path      string
+	stopOnce  sync.Once
+	stopBeat  chan struct{}
+	beatDone  chan struct{}
+}
+
+// Acquire implements the claim → build → publish protocol for (kind,
+// key). It returns immediately with Data if the entry exists, or with
+// a Claim if this caller should build it. If another builder holds a
+// live claim, Acquire waits (polling) until the entry appears or the
+// claim goes stale — a stale claim is taken over, never waited on
+// forever, so a dead owner costs at most StaleAfter.
+func (s *Store) Acquire(kind, key string) (Acquired, error) {
+	if err := checkName("kind", kind); err != nil {
+		return Acquired{}, err
+	}
+	if err := checkName("key", key); err != nil {
+		return Acquired{}, err
+	}
+	claimPath := filepath.Join(s.root, "claims", kind+"."+key)
+	waited := false
+	for {
+		if data, ok := s.Get(kind, key); ok {
+			return Acquired{Data: data, Waited: waited}, nil
+		}
+		c, err := s.tryClaim(kind, key, claimPath)
+		if err != nil {
+			return Acquired{}, err
+		}
+		if c != nil {
+			// Won the claim — but the entry may have been published
+			// between our Get and the claim create (the publisher's
+			// claim removal racing ours). Re-check before building.
+			if data, ok := s.Get(kind, key); ok {
+				c.Abandon()
+				return Acquired{Data: data, Waited: waited}, nil
+			}
+			return Acquired{Claim: c}, nil
+		}
+		// Somebody else holds the claim: wait for the entry or for the
+		// claim to go stale.
+		waited = true
+		time.Sleep(s.opts.PollInterval)
+		s.reapStale(claimPath)
+	}
+}
+
+// tryClaim attempts to create the claim file exclusively. It returns
+// (nil, nil) when another owner already holds it.
+func (s *Store) tryClaim(kind, key, claimPath string) (*Claim, error) {
+	f, err := os.OpenFile(claimPath, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		if os.IsExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("store: claim %s/%s: %w", kind, key, err)
+	}
+	fmt.Fprintf(f, "pid %d\n%s/%s\n", os.Getpid(), kind, key) // diagnostic only
+	f.Close()
+	c := &Claim{
+		s:        s,
+		kind:     kind,
+		key:      key,
+		path:     claimPath,
+		stopBeat: make(chan struct{}),
+		beatDone: make(chan struct{}),
+	}
+	go c.heartbeat()
+	return c, nil
+}
+
+// heartbeat refreshes the claim's timestamp so waiters can tell a live
+// owner from a dead one. It stops when the claim is published or
+// abandoned.
+func (c *Claim) heartbeat() {
+	defer close(c.beatDone)
+	t := time.NewTicker(c.s.opts.StaleAfter / 4)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stopBeat:
+			return
+		case <-t.C:
+			now := time.Now()
+			os.Chtimes(c.path, now, now) // best effort; a failure just ages the claim
+		}
+	}
+}
+
+// reapStale takes over a claim whose owner has stopped refreshing it.
+// The takeover is an atomic rename to a unique scratch name: of any
+// number of concurrent waiters, exactly one rename succeeds, so a
+// stale claim is removed exactly once and the waiters then race to
+// re-claim through the normal O_EXCL path.
+func (s *Store) reapStale(claimPath string) {
+	fi, err := os.Stat(claimPath)
+	if err != nil || time.Since(fi.ModTime()) < s.opts.StaleAfter {
+		return
+	}
+	grave := s.tempPath()
+	if os.Rename(claimPath, grave) == nil {
+		os.Remove(grave)
+	}
+}
+
+// Publish atomically publishes the built payload and releases the
+// claim. Publishing the entry before removing the claim file means no
+// waiter can observe "no claim, no entry" and start a redundant build.
+func (c *Claim) Publish(payload []byte) error {
+	err := c.s.Put(c.kind, c.key, payload)
+	c.release()
+	return err
+}
+
+// Abandon releases the claim without publishing (build failed or the
+// entry appeared elsewhere). Waiters will re-race to claim and build.
+func (c *Claim) Abandon() { c.release() }
+
+func (c *Claim) release() {
+	c.stopOnce.Do(func() {
+		close(c.stopBeat)
+		<-c.beatDone
+		// Removal can legitimately fail if a (pathologically slow)
+		// build outlived StaleAfter and a waiter reaped the claim; the
+		// publish above still counts and the duplicate build elsewhere
+		// produces identical bytes.
+		os.Remove(c.path)
+	})
+}

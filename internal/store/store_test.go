@@ -1,0 +1,418 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fastOpts keeps claim-protocol tests quick: stale takeover and polls
+// resolve in tens of milliseconds instead of seconds.
+var fastOpts = Options{StaleAfter: 80 * time.Millisecond, PollInterval: 5 * time.Millisecond}
+
+func openTest(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(filepath.Join(t.TempDir(), "store"), fastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := openTest(t)
+	payload := []byte("some artifact bytes \x00\xff")
+	if _, ok := s.Get("compile", "abc123"); ok {
+		t.Fatal("hit before publish")
+	}
+	if err := s.Put("compile", "abc123", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get("compile", "abc123")
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("round trip: ok=%v got=%q", ok, got)
+	}
+	// Distinct kinds do not alias.
+	if _, ok := s.Get("layout", "abc123"); ok {
+		t.Fatal("entry visible under wrong kind")
+	}
+	if err := s.Delete("compile", "abc123"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("compile", "abc123"); ok {
+		t.Fatal("hit after delete")
+	}
+	if err := s.Delete("compile", "abc123"); err != nil {
+		t.Fatalf("delete of missing entry: %v", err)
+	}
+}
+
+func TestEmptyPayload(t *testing.T) {
+	s := openTest(t)
+	if err := s.Put("compile", "0", nil); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get("compile", "0")
+	if !ok || len(got) != 0 {
+		t.Fatalf("empty payload: ok=%v len=%d", ok, len(got))
+	}
+}
+
+func TestInvalidNamesRejected(t *testing.T) {
+	s := openTest(t)
+	for _, bad := range []string{"", "tmp", "claims", "../escape", "UPPER", "a/b", "a.b"} {
+		if err := s.Put(bad, "aa", []byte("x")); err == nil {
+			t.Errorf("Put accepted kind %q", bad)
+		}
+		if err := s.Put("compile", bad, []byte("x")); err == nil {
+			t.Errorf("Put accepted key %q", bad)
+		}
+		if _, ok := s.Get(bad, "aa"); ok {
+			t.Errorf("Get accepted kind %q", bad)
+		}
+	}
+}
+
+// TestCorruptEntryIsMissAndRemoved flips each byte of a stored entry in
+// turn: every corruption must read as a miss, and the poisoned file
+// must be gone afterwards so a rebuild can publish cleanly.
+func TestCorruptEntryIsMissAndRemoved(t *testing.T) {
+	s := openTest(t)
+	payload := []byte("artifact payload with enough bytes to be interesting")
+	path := s.entryPath("compile", "deadbeef")
+	if err := s.Put("compile", "deadbeef", payload); err != nil {
+		t.Fatal(err)
+	}
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pos := 0; pos < len(clean); pos++ {
+		mut := append([]byte(nil), clean...)
+		mut[pos] ^= 0x40
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := s.Get("compile", "deadbeef"); ok {
+			t.Fatalf("bit flip at byte %d read as a hit", pos)
+		}
+		if _, err := os.Stat(path); !os.IsNotExist(err) {
+			t.Fatalf("corrupt entry (flip at %d) not removed: %v", pos, err)
+		}
+	}
+}
+
+func TestTruncatedEntryIsMiss(t *testing.T) {
+	s := openTest(t)
+	payload := []byte("truncate me")
+	path := s.entryPath("compile", "feed")
+	if err := s.Put("compile", "feed", payload); err != nil {
+		t.Fatal(err)
+	}
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(clean); n++ {
+		if err := os.WriteFile(path, clean[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := s.Get("compile", "feed"); ok {
+			t.Fatalf("truncation to %d/%d bytes read as a hit", n, len(clean))
+		}
+	}
+}
+
+// TestKillMidPublishLeavesOnlyTempDebris simulates a process dying
+// after writing its temp file but before the rename: the entry must
+// not exist, and GC must sweep the debris once it is stale.
+func TestKillMidPublishLeavesOnlyTempDebris(t *testing.T) {
+	s := openTest(t)
+	tmp := s.tempPath()
+	if err := writeFileSync(tmp, encodeEntry([]byte("half-published"))); err != nil {
+		t.Fatal(err)
+	}
+	// The "crashed" publisher never renamed: no entry is visible.
+	if _, ok := s.Get("compile", "cafe"); ok {
+		t.Fatal("unpublished temp file visible as an entry")
+	}
+	entries, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("List sees %d entries, want 0", len(entries))
+	}
+	// Fresh debris is left alone (its writer may still be alive)...
+	if st, err := s.GC(0); err != nil || st.TmpRemoved != 0 {
+		t.Fatalf("GC removed fresh temp file: %+v err=%v", st, err)
+	}
+	// ...but stale debris is swept.
+	old := time.Now().Add(-2 * s.opts.StaleAfter)
+	if err := os.Chtimes(tmp, old, old); err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.GC(0)
+	if err != nil || st.TmpRemoved != 1 {
+		t.Fatalf("GC of stale temp file: %+v err=%v", st, err)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatal("stale temp file survived GC")
+	}
+}
+
+func TestAcquireBuildPublish(t *testing.T) {
+	s := openTest(t)
+	a, err := s.Acquire("compile", "11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Claim == nil || a.Data != nil || a.Waited {
+		t.Fatalf("first Acquire: %+v", a)
+	}
+	if err := a.Claim.Publish([]byte("built")); err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Acquire("compile", "11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Claim != nil || !bytes.Equal(b.Data, []byte("built")) || b.Waited {
+		t.Fatalf("second Acquire: %+v", b)
+	}
+}
+
+func TestAbandonedClaimIsReclaimable(t *testing.T) {
+	s := openTest(t)
+	a, err := s.Acquire("compile", "22")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Claim.Abandon()
+	b, err := s.Acquire("compile", "22")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Claim == nil {
+		t.Fatalf("Acquire after Abandon: %+v", b)
+	}
+	b.Claim.Abandon()
+}
+
+// TestWaiterGetsPublishedEntry pins the contended path: a second
+// acquirer blocks on a live claim and comes back with the published
+// payload and Waited set.
+func TestWaiterGetsPublishedEntry(t *testing.T) {
+	s := openTest(t)
+	a, err := s.Acquire("compile", "33")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Claim == nil {
+		t.Fatalf("first Acquire: %+v", a)
+	}
+	done := make(chan Acquired, 1)
+	go func() {
+		b, err := s.Acquire("compile", "33")
+		if err != nil {
+			t.Error(err)
+		}
+		done <- b
+	}()
+	time.Sleep(3 * s.opts.PollInterval) // let the waiter start polling
+	if err := a.Claim.Publish([]byte("slow build result")); err != nil {
+		t.Fatal(err)
+	}
+	b := <-done
+	if b.Claim != nil || !bytes.Equal(b.Data, []byte("slow build result")) {
+		t.Fatalf("waiter result: %+v", b)
+	}
+	if !b.Waited {
+		t.Fatal("waiter did not report Waited")
+	}
+}
+
+// TestStaleClaimTakenOver simulates a claim left by a dead process (a
+// raw claim file with an old timestamp, no heartbeat): Acquire must
+// reap it and win the build instead of waiting forever.
+func TestStaleClaimTakenOver(t *testing.T) {
+	s := openTest(t)
+	claimPath := filepath.Join(s.root, "claims", "compile.44")
+	if err := os.WriteFile(claimPath, []byte("pid 999999\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-2 * s.opts.StaleAfter)
+	if err := os.Chtimes(claimPath, old, old); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	a, err := s.Acquire("compile", "44")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Claim == nil {
+		t.Fatalf("takeover Acquire: %+v", a)
+	}
+	if elapsed := time.Since(start); elapsed > 20*s.opts.StaleAfter {
+		t.Fatalf("takeover took %v", elapsed)
+	}
+	a.Claim.Abandon()
+}
+
+// TestLiveClaimNotPreempted: the heartbeat must keep a slow-but-alive
+// owner's claim fresh past StaleAfter, so a waiter does not start a
+// duplicate build.
+func TestLiveClaimNotPreempted(t *testing.T) {
+	s := openTest(t)
+	a, err := s.Acquire("compile", "55")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan Acquired, 1)
+	go func() {
+		b, err := s.Acquire("compile", "55")
+		if err != nil {
+			t.Error(err)
+		}
+		done <- b
+	}()
+	// Hold the claim well past StaleAfter; the heartbeat refreshes it.
+	time.Sleep(3 * s.opts.StaleAfter)
+	select {
+	case b := <-done:
+		t.Fatalf("waiter preempted a live claim: %+v", b)
+	default:
+	}
+	if err := a.Claim.Publish([]byte("eventually")); err != nil {
+		t.Fatal(err)
+	}
+	b := <-done
+	if b.Claim != nil || !bytes.Equal(b.Data, []byte("eventually")) {
+		t.Fatalf("waiter after slow publish: %+v", b)
+	}
+}
+
+// TestConcurrentAcquireBuildsOnce: many goroutines over two Store
+// handles on one directory race Acquire for the same key; in this
+// uncontended-by-death scenario exactly one must build.
+func TestConcurrentAcquireBuildsOnce(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "shared")
+	s1, err := Open(dir, fastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, fastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var builds atomic.Int64
+	var wg sync.WaitGroup
+	payload := []byte("the one true artifact")
+	for i := 0; i < 16; i++ {
+		s := s1
+		if i%2 == 1 {
+			s = s2
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a, err := s.Acquire("compile", "66")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if a.Claim != nil {
+				builds.Add(1)
+				time.Sleep(2 * fastOpts.PollInterval) // widen the race window
+				if err := a.Claim.Publish(payload); err != nil {
+					t.Error(err)
+				}
+				return
+			}
+			if !bytes.Equal(a.Data, payload) {
+				t.Errorf("got %q", a.Data)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("%d builds, want exactly 1", n)
+	}
+}
+
+func TestGCPrunesOldestAccessFirst(t *testing.T) {
+	s := openTest(t)
+	// Three entries with staggered access times; each entry is
+	// headerSize+16 bytes on disk.
+	size := int64(headerSize + 16)
+	base := time.Now().Add(-time.Hour)
+	for i, key := range []string{"aa", "bb", "cc"} {
+		if err := s.Put("compile", key, bytes.Repeat([]byte{byte(i)}, 16)); err != nil {
+			t.Fatal(err)
+		}
+		ts := base.Add(time.Duration(i) * time.Minute)
+		if err := os.Chtimes(s.entryPath("compile", key), ts, ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Reading "aa" refreshes it, making "bb" the oldest.
+	if _, ok := s.Get("compile", "aa"); !ok {
+		t.Fatal("miss on aa")
+	}
+	st, err := s.GC(2 * size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Removed != 1 || st.Entries != 2 || st.Bytes != 2*size {
+		t.Fatalf("GC stats: %+v", st)
+	}
+	if _, ok := s.Get("compile", "bb"); ok {
+		t.Fatal("oldest-access entry bb survived GC")
+	}
+	for _, key := range []string{"aa", "cc"} {
+		if _, ok := s.Get("compile", key); !ok {
+			t.Fatalf("entry %s wrongly pruned", key)
+		}
+	}
+	// Budget boundary: exactly-at-budget removes nothing further.
+	st, err = s.GC(2 * size)
+	if err != nil || st.Removed != 0 || st.Entries != 2 {
+		t.Fatalf("at-budget GC: %+v err=%v", st, err)
+	}
+	// maxBytes <= 0 keeps everything.
+	st, err = s.GC(0)
+	if err != nil || st.Removed != 0 || st.Entries != 2 {
+		t.Fatalf("unbounded GC: %+v err=%v", st, err)
+	}
+}
+
+func TestListSortedAndComplete(t *testing.T) {
+	s := openTest(t)
+	want := []string{"compile/aa", "compile/zz", "layout/mm"}
+	for _, e := range []struct{ kind, key string }{
+		{"layout", "mm"}, {"compile", "zz"}, {"compile", "aa"},
+	} {
+		if err := s.Put(e.kind, e.key, []byte(e.kind+e.key)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, e := range entries {
+		got = append(got, e.Kind+"/"+e.Key)
+		if e.Size <= int64(headerSize) {
+			t.Errorf("%s/%s: size %d", e.Kind, e.Key, e.Size)
+		}
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("List order: got %v want %v", got, want)
+	}
+}
